@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 2: delay and area of 16-bit crossbar switches across port
+ * counts {4, 8, 16, 32, 64} and driver widths {1.8 .. 5.1 um}.
+ */
+
+#include <cstdio>
+
+#include "support/table.hh"
+#include "vlsi/crossbar_model.hh"
+
+using namespace vvsp;
+
+int
+main()
+{
+    CrossbarModel model;
+    std::printf("Fig 2: Delay and Area for 16-bit Crossbar Switches\n\n");
+
+    TextTable delay;
+    std::vector<std::string> head{"ports"};
+    for (double w : CrossbarModel::standardDriversUm())
+        head.push_back(TextTable::num(w, 1) + "um delay(ns)");
+    delay.header(head);
+    for (int ports : CrossbarModel::standardPorts()) {
+        std::vector<std::string> row{std::to_string(ports)};
+        for (double w : CrossbarModel::standardDriversUm())
+            row.push_back(TextTable::num(model.delayNs(ports, w), 2));
+        delay.row(row);
+    }
+    std::printf("%s\n", delay.str().c_str());
+
+    TextTable area;
+    std::vector<std::string> head2{"ports"};
+    for (double w : CrossbarModel::standardDriversUm())
+        head2.push_back(TextTable::num(w, 1) + "um area(mm^2)");
+    area.header(head2);
+    for (int ports : CrossbarModel::standardPorts()) {
+        std::vector<std::string> row{std::to_string(ports)};
+        for (double w : CrossbarModel::standardDriversUm())
+            row.push_back(TextTable::num(model.areaMm2(ports, w), 2));
+        area.row(row);
+    }
+    std::printf("%s\n", area.str().c_str());
+    std::printf("Paper shape: <1ns to 16 ports, ~1.5ns at 32, ~3ns at\n"
+                "64 (largest driver); area insensitive to driver size,\n"
+                "a few mm^2 at 32 ports.\n");
+    return 0;
+}

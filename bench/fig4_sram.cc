@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 4: delay and area of the multiported high-speed SRAM across
+ * capacities 2B..32KB and 1..5 ports, plus the high-density 1/2-port
+ * designs of Sec. 3.1.3.
+ */
+
+#include <cstdio>
+
+#include "support/table.hh"
+#include "vlsi/sram_model.hh"
+
+using namespace vvsp;
+
+int
+main()
+{
+    SramModel model;
+    std::printf("Fig 4: Delay and Area for multiported high-speed "
+                "SRAM\n\n");
+
+    TextTable delay;
+    std::vector<std::string> head{"bytes"};
+    for (int p : SramModel::standardPorts())
+        head.push_back(std::to_string(p) + "p delay(ns)");
+    delay.header(head);
+    for (int bytes : SramModel::standardSizes()) {
+        std::vector<std::string> row{std::to_string(bytes)};
+        for (int p : SramModel::standardPorts())
+            row.push_back(TextTable::num(model.delayNs(bytes, p), 2));
+        delay.row(row);
+    }
+    std::printf("%s\n", delay.str().c_str());
+
+    TextTable area;
+    std::vector<std::string> head2{"bytes"};
+    for (int p : SramModel::standardPorts())
+        head2.push_back(std::to_string(p) + "p area(mm^2)");
+    area.header(head2);
+    for (int bytes : SramModel::standardSizes()) {
+        std::vector<std::string> row{std::to_string(bytes)};
+        for (int p : SramModel::standardPorts())
+            row.push_back(TextTable::num(model.areaMm2(bytes, p), 3));
+        area.row(row);
+    }
+    std::printf("%s\n", area.str().c_str());
+
+    std::printf("High-density designs (Sec. 3.1.3):\n");
+    std::printf("  1-ported: %.0f bytes/mm^2 marginal density\n",
+                model.densityBytesPerMm2(1, SramDesign::HighDensity));
+    std::printf("  2-ported: %.0f bytes/mm^2 marginal density\n",
+                model.densityBytesPerMm2(2, SramDesign::HighDensity));
+    std::printf("  4-ported high-performance: %.0f bytes/mm^2\n",
+                model.densityBytesPerMm2(4,
+                                         SramDesign::HighPerformance));
+    std::printf("  32KB from 16Kx1 modules: %.1f mm^2, %.2f ns "
+                "access\n",
+                model.composedAreaMm2(32768, 2048, 1,
+                                      SramDesign::HighDensity),
+                model.composedDelayNs(32768, 2048, 1,
+                                      SramDesign::HighDensity));
+    std::printf("\nPaper shape: ~400 B/mm^2 at 4 ports; >2600 (1p) "
+                "and >2200 (2p)\nB/mm^2 for the dense designs; 32KB "
+                "= 12.9 mm^2 (Fig 5).\n");
+    return 0;
+}

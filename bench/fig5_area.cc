@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 5: area breakdown of the initial I4C8S4 datapath, plus the
+ * "Estimated Area" and "Estimated Relative Clock Speed" header rows
+ * of Tables 1 and 2 for all seven models.
+ */
+
+#include <cstdio>
+
+#include "arch/models.hh"
+#include "support/table.hh"
+#include "vlsi/area_estimator.hh"
+#include "vlsi/clock_estimator.hh"
+
+using namespace vvsp;
+
+int
+main()
+{
+    AreaEstimator area;
+    ClockEstimator clock;
+
+    std::printf("Fig 5: Area for Datapath I4C8S4 "
+                "(paper: cluster 21.3 mm^2, datapath 181.4 mm^2)\n\n");
+    auto cfg = models::i4c8s4();
+    std::printf("%s\n", area.estimate(cfg).str(cfg).c_str());
+
+    std::printf("Table 1/2 header rows (paper area: 181.4 181.4 "
+                "183.5 180 217 199.5 249 mm^2;\n"
+                "paper relative clock: 1.0 0.6 0.95 1.3 1.3 0.95 "
+                "1.3)\n\n");
+    TextTable t;
+    t.header({"model", "area mm^2", "clock MHz", "relative",
+              "chip power W"});
+    auto ref = models::i4c8s4();
+    const char *names[] = {"I4C8S4",  "I4C8S4C",   "I4C8S5",
+                           "I2C16S4", "I2C16S5",   "I4C8S5M16",
+                           "I2C16S5M16"};
+    for (const char *name : names) {
+        auto m = models::byName(name);
+        double mhz = clock.clockMhz(m);
+        t.row({name, TextTable::num(area.datapathMm2(m), 1),
+               TextTable::num(mhz, 0),
+               TextTable::num(clock.relativeClock(m, ref), 2),
+               TextTable::num(area.chipPowerWatts(m, mhz / 1000.0),
+                              1)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    std::printf("Paper: clock rates 650-850 MHz; power 'in the 50 W "
+                "range';\ncrossbar is ~3%% of chip area.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the toolchain itself: IR
+ * interpretation, list scheduling, modulo scheduling, and cycle
+ * simulation throughput. These measure the reproduction
+ * infrastructure (useful when extending it), not the paper's
+ * processor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/models.hh"
+#include "core/experiment.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "sim/cycle_sim.hh"
+#include "xform/passes.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+const KernelSpec &
+fms()
+{
+    return kernelByName("Full Motion Search");
+}
+
+void
+BM_InterpreterFullSearchUnit(benchmark::State &state)
+{
+    const VariantSpec &v = fms().variant("Sequential-predicated");
+    MachineModel machine(models::i4c8s4());
+    Function fn = lowerVariant(fms(), v, machine);
+    MemoryImage mem(fn);
+    fms().prepare(fn, mem, FrameGeometry{48, 32}, 0);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        Interpreter interp(fn);
+        Profile p = interp.run(mem);
+        ops += p.dynamicOps;
+    }
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterFullSearchUnit)->Unit(benchmark::kMillisecond);
+
+void
+BM_ListScheduleUnrolledRow(benchmark::State &state)
+{
+    const VariantSpec &v = fms().variant("Unrolled Inner Loop");
+    MachineModel machine(models::i4c8s4());
+    Function fn = lowerVariant(fms(), v, machine);
+    // Largest block in the function.
+    std::vector<Operation> ops;
+    passes::forEachBlock(fn, [&ops](BlockNode &blk) {
+        if (blk.ops.size() > ops.size())
+            ops = blk.ops;
+    });
+    BankOfFn bank_of = [&fn](int b) { return fn.buffer(b).bank; };
+    ListScheduler sched(machine, bank_of);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched.schedule(ops, false));
+    state.counters["ops"] = static_cast<double>(ops.size());
+}
+BENCHMARK(BM_ListScheduleUnrolledRow)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ModuloScheduleSadRow(benchmark::State &state)
+{
+    const VariantSpec &v = fms().variant("SW pipelined & unrolled");
+    MachineModel machine(models::i4c8s4());
+    Function fn = lowerVariant(fms(), v, machine);
+    LoopNode *y = passes::findLoop(fn, "y");
+    std::vector<Operation> ops;
+    for (auto &n : y->body) {
+        auto &blk = static_cast<BlockNode &>(*n);
+        ops.insert(ops.end(), blk.ops.begin(), blk.ops.end());
+    }
+    auto ctrl = loopControlOps(fn, *y);
+    ops.insert(ops.end(), ctrl.begin(), ctrl.end());
+    BankOfFn bank_of = [&fn](int b) { return fn.buffer(b).bank; };
+    ModuloScheduler sched(machine, bank_of);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched.schedule(ops, machine.registersPerCluster()));
+    state.counters["ops"] = static_cast<double>(ops.size());
+}
+BENCHMARK(BM_ModuloScheduleSadRow)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimBlockedSearchUnit(benchmark::State &state)
+{
+    const VariantSpec &v = fms().variant("Blocking/Loop Exchange");
+    MachineModel machine(models::i4c8s4());
+    Function fn = lowerVariant(fms(), v, machine);
+    double cycles = 0;
+    for (auto _ : state) {
+        MemoryImage mem(fn);
+        fms().prepare(fn, mem, FrameGeometry{48, 32}, 0);
+        CycleSim sim(machine, v.mode);
+        cycles += sim.run(fn, mem).cycles;
+    }
+    state.counters["simcycles/s"] = benchmark::Counter(
+        cycles, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleSimBlockedSearchUnit)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Table 1, RGB:YCrCb converter/subsampler section: 4 schedules x 5
+ * datapath models, cycles per CCIR-601 frame, against the paper.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential", {15.15, 13.24, 13.24, 15.15, 13.24}},
+        {"Sequential-unrolled", {12.15, 10.42, 10.42, 12.15, 10.42}},
+        {"List-scheduled", {0.59, 0.59, 0.64, 0.40, 0.39}},
+        {"SW Pipelined & predicated",
+         {0.46, 0.41, 0.42, 0.40, 0.38}},
+    };
+    runKernelTable("RGB:YCrCb converter/subsampler",
+                   models::table1Models(), paper);
+    return 0;
+}

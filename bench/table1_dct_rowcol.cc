@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Table 1, DCT-row/column section: 6 schedules x 5 datapath models,
+ * cycles per CCIR-601 frame, against the paper's values.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential-unoptimized",
+         {135.0, 129.5, 129.5, 135.0, 129.5}},
+        {"Unrolled inner loop", {97.98, 92.45, 92.45, 97.98, 92.45}},
+        {"List Scheduled", {4.92, 4.84, 4.92, 3.33, 3.15}},
+        {"SW pipelined & predicated",
+         {4.58, 4.43, 4.58, 3.25, 3.07}},
+        {"+arithmetic optimization", {2.85, 2.84, 2.85, 2.30, 2.13}},
+        {"+unroll 2 levels & widen", {2.70, 2.70, 2.70, 2.38, 2.20}},
+    };
+    runKernelTable("DCT - row/column", models::table1Models(), paper);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 1, DCT-traditional section: 6 schedules x 5 datapath models,
+ * cycles per CCIR-601 frame, against the paper's values.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential-unoptimized",
+         {703.1, 692.2, 692.2, 702.1, 692.2}},
+        {"Unrolled inner loop", {305.5, 303.1, 303.1, 305.5, 303.1}},
+        {"List Scheduled", {18.55, 18.14, 18.55, 11.03, 10.33}},
+        {"SW pipelined & predicated",
+         {14.79, 14.75, 14.79, 10.70, 10.01}},
+        {"+arithmetic optimization",
+         {13.71, 13.03, 13.71, 8.46, 7.77}},
+        {"+unroll 2 levels & widen",
+         {13.92, 13.90, 13.92, 10.17, 9.48}},
+    };
+    runKernelTable("DCT - traditional", models::table1Models(), paper,
+                   2);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 1, Full Motion Search section: 7 schedules x 5 datapath
+ * models, cycles per CCIR-601 frame, against the paper's values.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential-predicated",
+         {815.7, 815.7, 815.7, 815.7, 815.7}},
+        {"Unrolled Inner Loop", {633.2, 467.3, 467.3, 633.2, 467.3}},
+        {"SW pipelined & unrolled",
+         {25.70, 24.41, 24.41, 20.91, 16.42}},
+        {"SW pipelined & unrolled 2 lev.",
+         {22.33, 22.25, 22.25, 19.55, 13.99}},
+        {"Add spec. op (SW pipelined)",
+         {22.29, 22.20, 22.20, 16.78, 11.21}},
+        {"Blocking/Loop Exchange", {9.44, 9.44, 9.44, 9.44, 9.44}},
+        {"Add spec. op (blocked)", {6.85, 6.85, 6.85, 6.85, 6.85}},
+    };
+    runKernelTable("Full Motion Search", models::table1Models(),
+                   paper);
+    return 0;
+}

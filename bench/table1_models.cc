@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 1 header rows: estimated relative clock speed and estimated
+ * area of the five Table 1 models, with the pipeline-stage timing
+ * breakdowns behind them.
+ */
+
+#include <cstdio>
+
+#include "arch/models.hh"
+#include "support/table.hh"
+#include "vlsi/area_estimator.hh"
+#include "vlsi/clock_estimator.hh"
+
+using namespace vvsp;
+
+int
+main()
+{
+    AreaEstimator area;
+    ClockEstimator clock;
+    auto ref = models::i4c8s4();
+
+    std::printf("Table 1 header rows\n");
+    std::printf("paper relative clock: 1.0  0.6  0.95  1.3  1.3\n");
+    std::printf("paper area (mm^2):    181.4 181.4 183.5 180 217\n\n");
+
+    TextTable t;
+    t.header({"model", "relative", "MHz", "area mm^2", "stages(ns): "
+              "rf / exec / mem / mult / xbar"});
+    for (const auto &m : models::table1Models()) {
+        ClockBreakdown b = clock.estimate(m);
+        t.row({m.name,
+               TextTable::num(clock.relativeClock(m, ref), 2),
+               TextTable::num(b.clockMhz, 0),
+               TextTable::num(area.datapathMm2(m), 1),
+               TextTable::num(b.regFileNs, 2) + " / " +
+                   TextTable::num(b.executeNs, 2) + " / " +
+                   TextTable::num(b.memoryNs, 2) + " / " +
+                   TextTable::num(b.multiplyNs, 2) + " / " +
+                   TextTable::num(b.crossbarNs, 2)});
+    }
+    std::printf("%s\n", t.str().c_str());
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Table 1, Three-step Search section: 7 schedules x 5 datapath
+ * models, cycles per CCIR-601 frame, against the paper's values.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential-predicated",
+         {86.12, 86.12, 86.12, 86.12, 86.12}},
+        {"Unrolled Inner Loop", {66.88, 49.20, 49.20, 66.88, 49.20}},
+        {"SW pipelined & unrolled", {2.72, 2.59, 2.59, 2.21, 1.74}},
+        {"SW pipelined & unrolled 2 lev.",
+         {2.37, 2.36, 2.36, 2.07, 1.48}},
+        {"Add spec. op (SW pipelined)",
+         {2.36, 2.35, 2.35, 1.78, 1.19}},
+        {"Blocking/Loop Exchange", {1.62, 1.33, 1.33, 1.60, 1.32}},
+        {"Add spec. op (blocked)", {1.33, 1.33, 1.33, 1.32, 1.02}},
+    };
+    runKernelTable("Three-step Search", models::table1Models(), paper);
+    return 0;
+}

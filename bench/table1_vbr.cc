@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 1, Variable-Bit-Rate Coder section: 6 schedules x 5 datapath
+ * models, cycles per CCIR-601 frame, against the paper. The cycle
+ * count is data dependent; the profile averages many coefficient
+ * blocks of quantized synthetic video.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    std::vector<PaperRow> paper{
+        {"Sequential", {4.44, 4.21, 4.44, 4.44, 4.44}},
+        {"Sequential-predicated", {4.37, 4.02, 4.37, 4.37, 4.37}},
+        {"List-scheduled", {2.62, 2.62, 2.96, 2.74, 2.74}},
+        {"List-scheduled-predicated",
+         {1.78, 1.76, 1.78, 1.99, 1.99}},
+        {"SW pipelined + comp. pred.",
+         {1.81, 1.79, 1.81, 2.01, 2.01}},
+        {"+phase pipelining", {1.76, 1.75, 1.76, 1.95, 1.93}},
+    };
+    runKernelTable("Variable-Bit-Rate Coder", models::table1Models(),
+                   paper, 48);
+    return 0;
+}

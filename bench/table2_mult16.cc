@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 2: impact of 16-bit two-stage multipliers on both DCT
+ * kernels, over {I4C8S4, I4C8S5, I4C8S5M16, I2C16S5, I2C16S5M16}.
+ */
+
+#include "table_common.hh"
+
+using namespace vvsp;
+using namespace vvsp::bench;
+
+int
+main()
+{
+    auto models_list = models::table2Models();
+
+    std::vector<PaperRow> trad{
+        {"Sequential-unoptimized",
+         {703.1, 692.2, 271.9, 692.2, 271.9}},
+        {"Unrolled inner loop", {305.5, 303.1, 117.5, 303.1, 117.5}},
+        {"List Scheduled", {18.55, 18.55, 5.98, 20.67, 3.90}},
+        {"SW pipelined & predicated",
+         {14.79, 14.79, 4.68, 20.03, 3.38}},
+        {"+unroll 2 levels & widen",
+         {13.92, 13.92, 3.95, 18.96, 1.91}},
+    };
+    runKernelTable("DCT - traditional", models_list, trad, 2);
+
+    std::vector<PaperRow> rowcol{
+        {"Sequential-unoptimized",
+         {135.0, 129.5, 63.16, 129.5, 63.16}},
+        {"Unrolled inner loop", {97.98, 92.45, 25.23, 92.45, 25.23}},
+        {"List Scheduled", {4.92, 4.92, 1.29, 6.31, 0.80}},
+        {"SW pipelined & predicated",
+         {4.58, 4.58, 1.03, 6.15, 0.77}},
+        {"+unroll 2 levels & widen",
+         {2.70, 2.70, 0.86, 4.41, 0.61}},
+    };
+    runKernelTable("DCT - row/column", models_list, rowcol);
+    return 0;
+}

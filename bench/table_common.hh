@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared harness for the Table 1 / Table 2 benchmark binaries: runs
+ * every (variant x model) cell of one kernel section and prints the
+ * measured cycles-per-frame next to the paper's published value.
+ */
+
+#ifndef VVSP_BENCH_TABLE_COMMON_HH
+#define VVSP_BENCH_TABLE_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/models.hh"
+#include "core/experiment.hh"
+#include "support/table.hh"
+
+namespace vvsp
+{
+namespace bench
+{
+
+/** Paper values for one row, in model column order (0 = absent). */
+struct PaperRow
+{
+    std::string variant;
+    std::vector<double> millions;
+};
+
+inline void
+runKernelTable(const std::string &kernel_name,
+               const std::vector<DatapathConfig> &models_list,
+               const std::vector<PaperRow> &paper,
+               int profile_units = 4)
+{
+    const KernelSpec &kernel = kernelByName(kernel_name);
+    std::printf("%s (cycles per 720x480 frame; 'paper' = HPCA'97 "
+                "Table value)\n\n",
+                kernel_name.c_str());
+
+    TextTable table;
+    std::vector<std::string> head{"schedule"};
+    for (const auto &m : models_list) {
+        head.push_back(m.name);
+        head.push_back("paper");
+    }
+    table.header(head);
+
+    for (size_t row = 0; row < paper.size(); ++row) {
+        const PaperRow &p = paper[row];
+        std::vector<std::string> cells{p.variant};
+        for (size_t col = 0; col < models_list.size(); ++col) {
+            ExperimentRequest req;
+            req.kernel = &kernel;
+            req.variant = &kernel.variant(p.variant);
+            req.model = models_list[col];
+            req.profileUnits = profile_units;
+            ExperimentResult r = runExperiment(req);
+            std::string cell = TextTable::cycles(r.cyclesPerFrame);
+            if (!r.passed)
+                cell += "!";
+            if (!r.comp.icacheOk)
+                cell += "^"; // hot loop exceeds the icache.
+            if (!r.comp.registersOk)
+                cell += "*"; // register pressure exceeds the file.
+            cells.push_back(cell);
+            double pv = col < p.millions.size() ? p.millions[col] : 0;
+            cells.push_back(pv > 0 ? TextTable::cycles(pv * 1e6)
+                                   : "-");
+        }
+        table.row(cells);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("flags: ! golden mismatch, ^ hot loop exceeds icache, "
+                "* register pressure exceeds file\n\n");
+}
+
+} // namespace bench
+} // namespace vvsp
+
+#endif // VVSP_BENCH_TABLE_COMMON_HH

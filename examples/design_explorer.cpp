@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Design-space exploration (the paper's Sec. 3 methodology as a
+ * tool): enumerate candidate datapaths over clusters, issue slots,
+ * registers, memory and pipeline depth; price each with the VLSI
+ * models; score them with a motion-search workload; and print the
+ * area/performance Pareto frontier.
+ */
+
+#include <cstdio>
+
+#include "core/vvsp.hh"
+
+using namespace vvsp;
+
+int
+main()
+{
+    std::printf("VLIW VSP design-space exploration "
+                "(0.25um megacell models + full motion search)\n\n");
+
+    DesignSweep sweep;
+    sweep.clusterCounts = {4, 8, 16};
+    sweep.issueSlots = {2, 4};
+    sweep.registerCounts = {64, 128};
+    sweep.localMemKb = {8, 16, 32};
+    sweep.pipelineDepths = {4, 5};
+    sweep.maxAreaMm2 = 260.0;
+
+    const KernelSpec &k = kernelByName("Full Motion Search");
+    WorkloadScorer scorer = [&k](const DatapathConfig &cfg) {
+        // Blocked full search needs ~1.4KB of cluster memory and
+        // modest registers; skip configs that cannot hold it.
+        ExperimentRequest req;
+        req.kernel = &k;
+        req.variant = &k.variant("Blocking/Loop Exchange");
+        req.model = cfg;
+        req.profileUnits = 1;
+        ExperimentResult r = runExperiment(req);
+        if (!r.passed)
+            return 0.0;
+        return r.cyclesPerFrame;
+    };
+
+    auto points = exploreDesignSpace(sweep, scorer);
+    std::printf("%zu candidate datapaths priced and scored\n\n",
+                points.size());
+
+    auto frontier = paretoFrontier(points);
+    std::printf("Pareto frontier (area vs full-search frames/s):\n");
+    TextTable t;
+    t.header({"design", "area mm^2", "clock MHz", "peak GOPS",
+              "frames/s"});
+    for (const auto &p : frontier) {
+        if (p.framesPerSecond <= 0)
+            continue;
+        t.row({p.config.name, TextTable::num(p.areaMm2, 1),
+               TextTable::num(p.clockMhz, 0),
+               TextTable::num(p.peakGops, 1),
+               TextTable::num(p.framesPerSecond, 0)});
+    }
+    std::printf("%s\n", t.str().c_str());
+
+    std::printf("The paper's observation should be visible here: "
+                "small clusters with\nhigh clock rates dominate once "
+                "blocking removes the load bottleneck,\nand memory "
+                "capacity beyond the working set only costs area "
+                "(Sec. 4).\n");
+    return 0;
+}

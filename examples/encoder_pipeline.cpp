@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MPEG-style encoder pipeline on the VLIW VSP: runs the paper's
+ * kernel chain (color conversion -> motion search -> DCT -> VBR
+ * coding) on synthetic video, using each kernel's best schedule on a
+ * chosen datapath model, and prints the per-stage cycle budget for
+ * real-time CCIR-601 encoding - the workload the paper's
+ * introduction motivates.
+ *
+ * Usage: encoder_pipeline [model-name]   (default I4C8S4)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/vvsp.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+struct Stage
+{
+    const char *kernel;
+    const char *variant;
+    int units;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "I4C8S4";
+    DatapathConfig model = models::byName(model_name);
+    ClockEstimator clock;
+    AreaEstimator area;
+    double mhz = clock.clockMhz(model);
+
+    std::printf("Encoder pipeline on %s: %.1f mm^2 datapath, "
+                "%.0f MHz, %d issue slots\n\n",
+                model.name.c_str(), area.datapathMm2(model), mhz,
+                model.totalIssueSlots() + 1);
+
+    const Stage stages[] = {
+        {"RGB:YCrCb converter/subsampler",
+         "SW Pipelined & predicated", 3},
+        {"Full Motion Search", "Add spec. op (blocked)", 2},
+        {"DCT - row/column", "+arithmetic optimization", 3},
+        {"Variable-Bit-Rate Coder", "+phase pipelining", 24},
+    };
+
+    double total_cycles = 0;
+    std::printf("%-34s %-28s %12s %10s\n", "stage", "schedule",
+                "cycles/frame", "ms/frame");
+    for (const Stage &s : stages) {
+        const KernelSpec &k = kernelByName(s.kernel);
+        ExperimentRequest req;
+        req.kernel = &k;
+        req.variant = &k.variant(s.variant);
+        req.model = model;
+        req.profileUnits = s.units;
+        ExperimentResult r = runExperiment(req);
+        if (!r.passed) {
+            std::printf("%s: GOLDEN MISMATCH (%s)\n", s.kernel,
+                        r.note.c_str());
+            return 1;
+        }
+        total_cycles += r.cyclesPerFrame;
+        std::printf("%-34s %-28s %12s %10.2f\n", s.kernel, s.variant,
+                    TextTable::cycles(r.cyclesPerFrame).c_str(),
+                    r.cyclesPerFrame / (mhz * 1e3));
+    }
+
+    double ms_per_frame = total_cycles / (mhz * 1e3);
+    double fps = 1000.0 / ms_per_frame;
+    std::printf("\nwhole pipeline: %s cycles/frame = %.2f ms -> "
+                "%.0f frames/s (%.0f%% of real time at 30 fps)\n",
+                TextTable::cycles(total_cycles).c_str(), ms_per_frame,
+                fps, 100.0 * 30.0 / fps);
+    return 0;
+}

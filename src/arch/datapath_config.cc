@@ -1,0 +1,55 @@
+#include "arch/datapath_config.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+void
+DatapathConfig::validate() const
+{
+    if (clusters < 1)
+        vvsp_fatal("%s: needs at least one cluster", name.c_str());
+    if (cluster.issueSlots < 1)
+        vvsp_fatal("%s: cluster needs at least one issue slot",
+                   name.c_str());
+    if (cluster.regFilePorts < 3 * cluster.issueSlots) {
+        vvsp_fatal("%s: %d issue slots need %d register-file ports, "
+                   "only %d provided",
+                   name.c_str(), cluster.issueSlots,
+                   3 * cluster.issueSlots, cluster.regFilePorts);
+    }
+    if (cluster.numAlus < 1)
+        vvsp_fatal("%s: cluster needs at least one ALU", name.c_str());
+    if (cluster.localMemBytes % cluster.memBanks != 0) {
+        vvsp_fatal("%s: %d B of local memory not divisible into %d banks",
+                   name.c_str(), cluster.localMemBytes, cluster.memBanks);
+    }
+    if (cluster.localMemBytes / cluster.memBanks < cluster.memModuleBytes) {
+        vvsp_fatal("%s: memory bank smaller than its %d-byte module",
+                   name.c_str(), cluster.memModuleBytes);
+    }
+    if (pipelineStages != 4 && pipelineStages != 5)
+        vvsp_fatal("%s: only 4- and 5-stage pipelines are modeled",
+                   name.c_str());
+    if (multiplier == MultiplierKind::Mul16x16Pipelined &&
+        pipelineStages != 5) {
+        vvsp_fatal("%s: the 2-stage 16x16 multiplier requires the "
+                   "5-stage pipeline (Table 2)", name.c_str());
+    }
+    if (multiplier == MultiplierKind::Mul16x16Pipelined &&
+        multiplyStages != 2) {
+        vvsp_fatal("%s: the 16x16 multiplier is a 2-stage design",
+                   name.c_str());
+    }
+    if (multiplyStages < 1 || multiplyStages > 2)
+        vvsp_fatal("%s: only 1- and 2-stage multipliers are modeled",
+                   name.c_str());
+    if (crossbarPortsPerCluster < 1)
+        vvsp_fatal("%s: cluster needs a crossbar port", name.c_str());
+    if (icacheInstructions < 16)
+        vvsp_fatal("%s: icache of %d instructions is too small",
+                   name.c_str(), icacheInstructions);
+}
+
+} // namespace vvsp

@@ -1,0 +1,175 @@
+#include "arch/models.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+namespace models
+{
+
+DatapathConfig
+i4c8s4()
+{
+    DatapathConfig cfg;
+    cfg.name = "I4C8S4";
+    cfg.clusters = 8;
+    cfg.cluster.issueSlots = 4;
+    cfg.cluster.numAlus = 4;
+    cfg.cluster.numMultipliers = 1;
+    cfg.cluster.numShifters = 1;
+    cfg.cluster.numLoadStoreUnits = 1;
+    cfg.cluster.registers = 128;
+    cfg.cluster.regFilePorts = 12;
+    cfg.cluster.localMemBytes = 32 * 1024;
+    cfg.cluster.memBanks = 1;
+    cfg.cluster.memPortsPerBank = 1;
+    cfg.cluster.memModuleBytes = 2048; // 16Kx1-bit modules.
+    cfg.pipelineStages = 4;
+    cfg.addressing = AddressingModes::Simple;
+    cfg.multiplier = MultiplierKind::Mul8x8;
+    cfg.crossbarPortsPerCluster = 4; // one per issue slot: 32x32.
+    cfg.icacheInstructions = 1024;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i4c8s4c()
+{
+    DatapathConfig cfg = i4c8s4();
+    cfg.name = "I4C8S4C";
+    cfg.addressing = AddressingModes::Complex;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i4c8s5()
+{
+    DatapathConfig cfg = i4c8s4();
+    cfg.name = "I4C8S5";
+    cfg.pipelineStages = 5;
+    cfg.addressing = AddressingModes::Complex;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i2c16s4()
+{
+    DatapathConfig cfg;
+    cfg.name = "I2C16S4";
+    cfg.clusters = 16;
+    cfg.cluster.issueSlots = 2;
+    cfg.cluster.numAlus = 2;
+    cfg.cluster.numMultipliers = 1;
+    cfg.cluster.numShifters = 1;
+    cfg.cluster.numLoadStoreUnits = 2; // one per slot, specific bank.
+    cfg.cluster.registers = 64;
+    cfg.cluster.regFilePorts = 6;
+    cfg.cluster.localMemBytes = 16 * 1024;
+    cfg.cluster.memBanks = 2; // two separate 8 KB memories.
+    cfg.cluster.memPortsPerBank = 1;
+    cfg.cluster.memModuleBytes = 512; // smaller, faster modules.
+    cfg.pipelineStages = 4;
+    cfg.addressing = AddressingModes::Simple;
+    cfg.multiplier = MultiplierKind::Mul8x8;
+    cfg.multiplyStages = 2; // must be pipelined at this clock rate.
+    cfg.crossbarPortsPerCluster = 1; // 16x16 switch.
+    cfg.icacheInstructions = 512;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i2c16s5()
+{
+    DatapathConfig cfg = i2c16s4();
+    cfg.name = "I2C16S5";
+    cfg.pipelineStages = 5;
+    cfg.addressing = AddressingModes::Complex;
+    cfg.cluster.memBanks = 1; // single 16 KB memory...
+    cfg.cluster.fastMemoryCell = true; // ...with the larger fast cell.
+    // One port on the unified memory: 16 load/store units machine-wide
+    // ("doubled ... in the I2C16S5 model and quadrupled in the
+    // I2C16S4 model", Sec. 3.4.1).
+    cfg.cluster.numLoadStoreUnits = 1;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i4c8s5m16()
+{
+    DatapathConfig cfg = i4c8s5();
+    cfg.name = "I4C8S5M16";
+    cfg.multiplier = MultiplierKind::Mul16x16Pipelined;
+    cfg.multiplyStages = 2;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+i2c16s5m16()
+{
+    DatapathConfig cfg = i2c16s5();
+    cfg.name = "I2C16S5M16";
+    cfg.multiplier = MultiplierKind::Mul16x16Pipelined;
+    cfg.multiplyStages = 2;
+    cfg.validate();
+    return cfg;
+}
+
+DatapathConfig
+withDualLoadStore(DatapathConfig base)
+{
+    base.name += "+2LS";
+    base.cluster.numLoadStoreUnits += 1;
+    base.cluster.memPortsPerBank = 2;
+    base.validate();
+    return base;
+}
+
+DatapathConfig
+withAbsDiff(DatapathConfig base)
+{
+    base.name += "+AD";
+    base.cluster.hasAbsDiff = true;
+    base.validate();
+    return base;
+}
+
+std::vector<DatapathConfig>
+table1Models()
+{
+    return {i4c8s4(), i4c8s4c(), i4c8s5(), i2c16s4(), i2c16s5()};
+}
+
+std::vector<DatapathConfig>
+table2Models()
+{
+    return {i4c8s4(), i4c8s5(), i4c8s5m16(), i2c16s5(), i2c16s5m16()};
+}
+
+DatapathConfig
+byName(const std::string &name)
+{
+    if (name == "I4C8S4")
+        return i4c8s4();
+    if (name == "I4C8S4C")
+        return i4c8s4c();
+    if (name == "I4C8S5")
+        return i4c8s5();
+    if (name == "I2C16S4")
+        return i2c16s4();
+    if (name == "I2C16S5")
+        return i2c16s5();
+    if (name == "I4C8S5M16")
+        return i4c8s5m16();
+    if (name == "I2C16S5M16")
+        return i2c16s5m16();
+    vvsp_fatal("unknown datapath model '%s'", name.c_str());
+}
+
+} // namespace models
+} // namespace vvsp

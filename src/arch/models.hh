@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The seven candidate datapath models evaluated in the paper
+ * (Sec. 3.2, Tables 1-2), plus the dual-load/store ablation of
+ * Sec. 3.4.1.
+ *
+ * Naming: I<slots per cluster>C<clusters>S<pipeline stages>, with
+ * suffix C for complex addressing folded into the memory stage and
+ * M16 for the 16x16 pipelined multiplier.
+ */
+
+#ifndef VVSP_ARCH_MODELS_HH
+#define VVSP_ARCH_MODELS_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/datapath_config.hh"
+
+namespace vvsp
+{
+namespace models
+{
+
+/** 8 clusters x 4 slots, 4-stage, simple addressing (initial model). */
+DatapathConfig i4c8s4();
+
+/** I4C8S4 with indexed/base-disp addressing folded into the memory
+ *  stage (severe cycle-time cost). */
+DatapathConfig i4c8s4c();
+
+/** I4C8S4 with a 5th (MEM) stage: complex addressing, 1-cycle
+ *  load-use delay, 4 extra bypass paths. */
+DatapathConfig i4c8s5();
+
+/** 16 clusters x 2 slots, 4-stage, two 8 KB banks, 6-ported 64-entry
+ *  register file, 16x16 crossbar, ~30% faster clock. */
+DatapathConfig i2c16s4();
+
+/** 16-cluster model with a 5-stage pipeline and a single 16 KB
+ *  memory using the larger speed-binned cell. */
+DatapathConfig i2c16s5();
+
+/** I4C8S5 with 16-bit 2-stage multipliers (Table 2). */
+DatapathConfig i4c8s5m16();
+
+/** I2C16S5 with 16-bit 2-stage multipliers (Table 2). */
+DatapathConfig i2c16s5m16();
+
+/** Sec. 3.4.1 ablation: I4C8* with 2 load/store units on a
+ *  dual-ported memory. */
+DatapathConfig withDualLoadStore(DatapathConfig base);
+
+/** Copy of a model with the absolute-difference ALU enabled. */
+DatapathConfig withAbsDiff(DatapathConfig base);
+
+/** The five models of Table 1, in column order. */
+std::vector<DatapathConfig> table1Models();
+
+/** The five models of Table 2, in column order. */
+std::vector<DatapathConfig> table2Models();
+
+/** Look up any named model ("I4C8S4", ..., "I2C16S5M16"). */
+DatapathConfig byName(const std::string &name);
+
+} // namespace models
+} // namespace vvsp
+
+#endif // VVSP_ARCH_MODELS_HH

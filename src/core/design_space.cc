@@ -1,0 +1,120 @@
+#include "core/design_space.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+std::string
+DesignPoint::str() const
+{
+    std::ostringstream os;
+    os << config.name << ": " << areaMm2 << " mm^2, " << clockMhz
+       << " MHz, " << peakGops << " GOPS peak";
+    if (framesPerSecond > 0)
+        os << ", " << framesPerSecond << " frames/s";
+    return os.str();
+}
+
+std::vector<DesignPoint>
+exploreDesignSpace(const DesignSweep &sweep, const WorkloadScorer &scorer)
+{
+    AreaEstimator area;
+    ClockEstimator clock;
+    std::vector<DesignPoint> points;
+
+    for (int clusters : sweep.clusterCounts) {
+        for (int slots : sweep.issueSlots) {
+            for (int regs : sweep.registerCounts) {
+                for (int mem_kb : sweep.localMemKb) {
+                    for (int stages : sweep.pipelineDepths) {
+                        DatapathConfig cfg;
+                        cfg.name = "I" + std::to_string(slots) + "C" +
+                                   std::to_string(clusters) + "S" +
+                                   std::to_string(stages) + "R" +
+                                   std::to_string(regs) + "M" +
+                                   std::to_string(mem_kb);
+                        cfg.clusters = clusters;
+                        cfg.cluster.issueSlots = slots;
+                        cfg.cluster.numAlus = slots;
+                        cfg.cluster.numLoadStoreUnits =
+                            slots >= 4 ? 1 : 2;
+                        cfg.cluster.registers = regs;
+                        cfg.cluster.regFilePorts = 3 * slots;
+                        cfg.cluster.localMemBytes = mem_kb * 1024;
+                        cfg.cluster.memBanks = slots >= 4 ? 1 : 2;
+                        cfg.cluster.memModuleBytes =
+                            slots >= 4 ? 2048 : 512;
+                        cfg.pipelineStages = stages;
+                        cfg.addressing = stages == 5
+                                             ? AddressingModes::Complex
+                                             : AddressingModes::Simple;
+                        cfg.multiplyStages = slots >= 4 ? 1 : 2;
+                        if (sweep.includeMul16 && stages == 5) {
+                            cfg.multiplier =
+                                MultiplierKind::Mul16x16Pipelined;
+                            cfg.multiplyStages = 2;
+                        }
+                        cfg.crossbarPortsPerCluster =
+                            slots >= 4 ? slots : 1;
+                        cfg.icacheInstructions =
+                            clusters >= 16 ? 512 : 1024;
+                        cfg.validate();
+
+                        DesignPoint p;
+                        p.config = cfg;
+                        p.areaMm2 = area.datapathMm2(cfg);
+                        if (sweep.maxAreaMm2 > 0 &&
+                            p.areaMm2 > sweep.maxAreaMm2) {
+                            continue;
+                        }
+                        p.clockMhz = clock.clockMhz(cfg);
+                        p.peakGops = (cfg.totalIssueSlots() + 1) *
+                                     p.clockMhz / 1000.0;
+                        if (scorer) {
+                            double cycles = scorer(cfg);
+                            if (cycles > 0) {
+                                p.framesPerSecond =
+                                    p.clockMhz * 1e6 / cycles;
+                            }
+                        }
+                        points.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<DesignPoint>
+paretoFrontier(const std::vector<DesignPoint> &points)
+{
+    std::vector<DesignPoint> frontier;
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            bool better_or_equal = q.areaMm2 <= p.areaMm2 &&
+                                   q.framesPerSecond >=
+                                       p.framesPerSecond;
+            bool strictly = q.areaMm2 < p.areaMm2 ||
+                            q.framesPerSecond > p.framesPerSecond;
+            if (better_or_equal && strictly) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(p);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  return a.areaMm2 < b.areaMm2;
+              });
+    return frontier;
+}
+
+} // namespace vvsp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Design-space exploration utilities (paper Sec. 3: "the delay
+ * characteristics and area requirements ... were jointly analyzed to
+ * determine the architectural balance points").
+ *
+ * Enumerates candidate datapaths over the architectural parameters
+ * (clusters, issue slots, registers, memory capacity, multiplier
+ * kind, pipeline depth), prices each with the VLSI models, and
+ * optionally scores performance with a kernel workload - the
+ * machinery behind the design_explorer example and the ablation
+ * benches.
+ */
+
+#ifndef VVSP_CORE_DESIGN_SPACE_HH
+#define VVSP_CORE_DESIGN_SPACE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/datapath_config.hh"
+#include "vlsi/area_estimator.hh"
+#include "vlsi/clock_estimator.hh"
+
+namespace vvsp
+{
+
+/** One priced design point. */
+struct DesignPoint
+{
+    DatapathConfig config;
+    double areaMm2 = 0;
+    double clockMhz = 0;
+    /** Peak operations per second (slots * clock), in GOPS. */
+    double peakGops = 0;
+    /** Workload score if a scorer ran: frames per second. */
+    double framesPerSecond = 0;
+
+    std::string str() const;
+};
+
+/** Parameter ranges to enumerate. */
+struct DesignSweep
+{
+    std::vector<int> clusterCounts{4, 8, 16};
+    std::vector<int> issueSlots{2, 4};
+    std::vector<int> registerCounts{64, 128, 256};
+    std::vector<int> localMemKb{8, 16, 32};
+    std::vector<int> pipelineDepths{4, 5};
+    bool includeMul16 = false;
+    /** Reject datapaths larger than this (mm^2); 0 = no limit. */
+    double maxAreaMm2 = 0;
+};
+
+/** Optional workload scorer: cycles per frame on a config. */
+using WorkloadScorer =
+    std::function<double(const DatapathConfig &cfg)>;
+
+/** Enumerate, price, and (optionally) score the sweep. */
+std::vector<DesignPoint> exploreDesignSpace(
+    const DesignSweep &sweep, const WorkloadScorer &scorer = nullptr);
+
+/** Pareto-optimal subset under (area min, frames/s max). */
+std::vector<DesignPoint>
+paretoFrontier(const std::vector<DesignPoint> &points);
+
+} // namespace vvsp
+
+#endif // VVSP_CORE_DESIGN_SPACE_HH

@@ -1,0 +1,162 @@
+#include "core/experiment.hh"
+
+#include <map>
+
+#include "arch/models.hh"
+#include "ir/verifier.hh"
+#include "sched/cluster_assign.hh"
+#include "support/logging.hh"
+#include "xform/passes.hh"
+
+namespace vvsp
+{
+
+void
+assignBanks(Function &fn, const MachineModel &machine)
+{
+    int banks = machine.memBanks();
+    std::map<int, int> next_bank; // per cluster.
+    for (auto &b : fn.buffers)
+        b.bank = banks <= 1 ? 0 : next_bank[b.cluster]++ % banks;
+
+    // Capacity: every (cluster, bank) working set must fit in one
+    // bank (the paper additionally halves usable capacity for double
+    // buffering; conclusions report the working set explicitly).
+    for (const auto &b : fn.buffers) {
+        int words = fn.bufferWords(b.cluster, b.bank);
+        if (words > machine.memWordsPerBank()) {
+            vvsp_fatal("%s: %d words in cluster %d bank %d exceed the "
+                       "%d-word bank",
+                       fn.name.c_str(), words, b.cluster, b.bank,
+                       machine.memWordsPerBank());
+        }
+    }
+}
+
+Function
+lowerVariant(const KernelSpec &kernel, const VariantSpec &variant,
+             const MachineModel &machine)
+{
+    (void)kernel;
+    Function fn = variant.build();
+    verifyOrDie(fn);
+    if (variant.transform) {
+        variant.transform(fn);
+        verifyOrDie(fn);
+    }
+
+    passes::cleanup(fn);
+    passes::strengthReduce(fn);
+    passes::decomposeMultiplies(fn, machine);
+    passes::lowerAddressing(fn, machine);
+    passes::cleanup(fn);
+    fn.renumberAll();
+    verifyOrDie(fn);
+
+    int gang = variant.gangAllClusters ? machine.clusters()
+                                       : variant.gangClusters;
+    if (gang > 1) {
+        bool hand_assigned = false;
+        passes::forEachBlock(fn, [&hand_assigned](BlockNode &block) {
+            for (const auto &op : block.ops) {
+                if (op.cluster != 0)
+                    hand_assigned = true;
+            }
+        });
+        if (!hand_assigned)
+            autoPartition(fn, machine, std::min(gang,
+                                                machine.clusters()));
+        replicateReadOnlyBuffers(fn);
+        insertTransfers(fn);
+        fn.renumberAll();
+        verifyOrDie(fn);
+    }
+    validateClusterAssignment(fn, machine);
+    assignBanks(fn, machine);
+    return fn;
+}
+
+ExperimentResult
+runExperiment(const ExperimentRequest &req)
+{
+    vvsp_assert(req.kernel && req.variant, "incomplete request");
+    const KernelSpec &kernel = *req.kernel;
+    const VariantSpec &variant = *req.variant;
+
+    DatapathConfig cfg = req.model;
+    if (variant.needsAbsDiff && !cfg.cluster.hasAbsDiff) {
+        cfg.cluster.hasAbsDiff = true; // "> cycle & area" rows.
+    }
+    MachineModel machine(cfg);
+
+    ExperimentResult res;
+    res.kernel = kernel.name;
+    res.variant = variant.name;
+    res.model = req.model.name;
+
+    Function fn = lowerVariant(kernel, variant, machine);
+
+    AvgProfile avg(fn.numNodeIds());
+    if (req.check) {
+        const GoldenFn &golden = variant.goldenOverride
+                                     ? variant.goldenOverride
+                                     : kernel.golden;
+        res.checked = true;
+        res.passed = true;
+        for (int u = 0; u < req.profileUnits; ++u) {
+            MemoryImage mem(fn);
+            kernel.prepare(fn, mem, req.geometry, u);
+            MemoryImage expected(fn);
+            kernel.prepare(fn, expected, req.geometry, u);
+
+            Interpreter interp(fn);
+            Profile prof = interp.run(mem);
+            avg.accumulate(prof);
+
+            golden(fn, expected);
+            for (const auto &bname : kernel.outputBuffers) {
+                int id = bufferIdByName(fn, bname);
+                if (mem.bufferWords(id) != expected.bufferWords(id)) {
+                    res.passed = false;
+                    res.note = "output buffer '" + bname +
+                               "' mismatches golden on unit " +
+                               std::to_string(u);
+                }
+            }
+        }
+        avg.scale(1.0 / req.profileUnits);
+    } else {
+        // Still need a profile: interpret without checking.
+        for (int u = 0; u < req.profileUnits; ++u) {
+            MemoryImage mem(fn);
+            kernel.prepare(fn, mem, req.geometry, u);
+            Interpreter interp(fn);
+            avg.accumulate(interp.run(mem));
+        }
+        avg.scale(1.0 / req.profileUnits);
+    }
+
+    Composer composer(machine, variant.mode);
+    res.comp = composer.compose(fn, avg);
+    res.cyclesPerUnit = res.comp.cyclesPerUnit;
+
+    int gang = variant.gangAllClusters ? machine.clusters()
+                                       : variant.gangClusters;
+    res.replication =
+        variant.replicate
+            ? static_cast<double>(machine.clusters()) / gang
+            : 1.0;
+    res.unitsPerFrame = kernel.unitsPerFrame(req.geometry);
+    res.cyclesPerFrame =
+        res.cyclesPerUnit * res.unitsPerFrame / res.replication;
+
+    if (!res.comp.icacheOk)
+        res.note += (res.note.empty() ? "" : "; ") +
+                    std::string("hot loop exceeds icache");
+    if (!res.comp.registersOk)
+        res.note += (res.note.empty() ? "" : "; ") +
+                    std::string("register pressure exceeds file");
+    return res;
+}
+
+} // namespace vvsp

@@ -1,0 +1,258 @@
+#include "ir/dependence_graph.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+/** True when two writes can commit in the same cycle (complementary
+ *  predicates guarantee only one retires). */
+bool
+complementaryPreds(const Operation &a, const Operation &b)
+{
+    return a.isPredicated() && b.isPredicated() &&
+           a.pred == b.pred && a.predSense != b.predSense;
+}
+
+} // anonymous namespace
+
+DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
+                                 const LatencyFn &latency,
+                                 bool loop_carried)
+    : num_ops_(ops.size()), preds_(ops.size()), succs_(ops.size())
+{
+    const int n = static_cast<int>(ops.size());
+
+    // Per-register writer/reader tracking. `readers` is pruned at
+    // unconditional kills (it only feeds anti-dependences);
+    // `all_readers` keeps every read for the loop-carried analysis.
+    std::map<Vreg, std::vector<int>> writers;
+    std::map<Vreg, std::vector<int>> readers;
+    std::map<Vreg, std::vector<int>> all_readers;
+
+    auto reads = [&](const Operation &op, const std::function<void(Vreg)>
+                                              &fn) {
+        for (const auto &s : op.src) {
+            if (s.isReg())
+                fn(s.reg);
+        }
+        if (op.pred.isReg())
+            fn(op.pred.reg);
+    };
+
+    for (int i = 0; i < n; ++i) {
+        const Operation &op = ops[static_cast<size_t>(i)];
+
+        reads(op, [&](Vreg r) {
+            for (int w : writers[r]) {
+                addEdge(w, i, latency(ops[static_cast<size_t>(w)]), 0,
+                        DepKind::True);
+            }
+            readers[r].push_back(i);
+            all_readers[r].push_back(i);
+        });
+
+        if (op.info().hasDst) {
+            Vreg d = op.dst;
+            for (int rd : readers[d]) {
+                if (rd != i)
+                    addEdge(rd, i, 0, 0, DepKind::Anti);
+            }
+            for (int w : writers[d]) {
+                int lat = complementaryPreds(
+                              ops[static_cast<size_t>(w)], op)
+                              ? 0
+                              : 1;
+                addEdge(w, i, lat, 0, DepKind::Output);
+            }
+            if (op.isPredicated()) {
+                writers[d].push_back(i);
+            } else {
+                writers[d] = {i};
+                readers[d].clear();
+            }
+        }
+    }
+
+    // Memory ordering per (buffer, aliasToken).
+    std::map<std::pair<int, int>, std::vector<int>> mem_ops;
+    for (int i = 0; i < n; ++i) {
+        const Operation &op = ops[static_cast<size_t>(i)];
+        if (op.info().isMemory)
+            mem_ops[{op.buffer, op.aliasToken}].push_back(i);
+    }
+    for (const auto &[key, idxs] : mem_ops) {
+        for (size_t a = 0; a < idxs.size(); ++a) {
+            for (size_t b = a + 1; b < idxs.size(); ++b) {
+                const Operation &oa = ops[static_cast<size_t>(idxs[a])];
+                const Operation &ob = ops[static_cast<size_t>(idxs[b])];
+                bool a_store = oa.op == Opcode::Store;
+                bool b_store = ob.op == Opcode::Store;
+                if (!a_store && !b_store)
+                    continue; // load-load: no ordering needed.
+                int lat = a_store && !b_store ? 1 : (a_store ? 1 : 0);
+                addEdge(idxs[a], idxs[b], lat, 0, DepKind::Memory);
+            }
+        }
+    }
+
+    if (loop_carried) {
+        // Register values live around the back edge: a reader at or
+        // before a writer consumes the previous iteration's value.
+        for (const auto &[r, ws] : writers) {
+            auto rit = all_readers.find(r);
+            if (rit == all_readers.end())
+                continue;
+            for (int w : ws) {
+                for (int rd : rit->second) {
+                    if (rd <= w) {
+                        addEdge(w, rd,
+                                latency(ops[static_cast<size_t>(w)]), 1,
+                                DepKind::True);
+                    }
+                }
+            }
+        }
+        // Conservative carried memory dependences, unless both ends
+        // are declared streaming.
+        for (const auto &[key, idxs] : mem_ops) {
+            for (int a : idxs) {
+                for (int b : idxs) {
+                    const Operation &oa =
+                        ops[static_cast<size_t>(a)];
+                    const Operation &ob =
+                        ops[static_cast<size_t>(b)];
+                    bool a_store = oa.op == Opcode::Store;
+                    bool b_store = ob.op == Opcode::Store;
+                    if (!a_store && !b_store)
+                        continue;
+                    if (oa.noCarriedAlias && ob.noCarriedAlias)
+                        continue;
+                    addEdge(a, b, a_store ? 1 : 0, 1, DepKind::Memory);
+                }
+            }
+        }
+    }
+
+    computeHeights();
+}
+
+void
+DependenceGraph::addEdge(int from, int to, int latency, int distance,
+                         DepKind kind)
+{
+    vvsp_assert(distance > 0 || from < to || (from == to && distance > 0),
+                "distance-0 edge must run forward (%d -> %d)", from, to);
+    // Drop exact duplicates (common with multi-writer tracking).
+    for (const auto &e : edges_) {
+        if (e.from == from && e.to == to && e.distance == distance &&
+            e.kind == kind && e.latency >= latency) {
+            return;
+        }
+    }
+    int idx = static_cast<int>(edges_.size());
+    edges_.push_back(DepEdge{from, to, latency, distance, kind});
+    succs_[static_cast<size_t>(from)].push_back(idx);
+    preds_[static_cast<size_t>(to)].push_back(idx);
+}
+
+const std::vector<int> &
+DependenceGraph::predEdges(int op) const
+{
+    return preds_[static_cast<size_t>(op)];
+}
+
+const std::vector<int> &
+DependenceGraph::succEdges(int op) const
+{
+    return succs_[static_cast<size_t>(op)];
+}
+
+void
+DependenceGraph::computeHeights()
+{
+    // Distance-0 edges always run forward in index order, so reverse
+    // index order is a reverse topological order.
+    heights_.assign(num_ops_, 1);
+    for (int i = static_cast<int>(num_ops_) - 1; i >= 0; --i) {
+        for (int e : succs_[static_cast<size_t>(i)]) {
+            const DepEdge &edge = edges_[static_cast<size_t>(e)];
+            if (edge.distance != 0)
+                continue;
+            heights_[static_cast<size_t>(i)] = std::max(
+                heights_[static_cast<size_t>(i)],
+                edge.latency + heights_[static_cast<size_t>(edge.to)]);
+        }
+    }
+}
+
+int
+DependenceGraph::height(int op) const
+{
+    return heights_[static_cast<size_t>(op)];
+}
+
+int
+DependenceGraph::criticalPathLength() const
+{
+    int best = 0;
+    for (int h : heights_)
+        best = std::max(best, h);
+    return best;
+}
+
+int
+DependenceGraph::recurrenceMii() const
+{
+    if (num_ops_ == 0)
+        return 1;
+    int max_lat_sum = 1;
+    for (const auto &e : edges_)
+        max_lat_sum += e.latency;
+
+    // Smallest II such that no cycle has positive (latency - II*dist)
+    // weight; checked with Bellman-Ford on longest paths.
+    for (int ii = 1; ii <= max_lat_sum; ++ii) {
+        std::vector<int> dist(num_ops_, 0);
+        bool changed = true;
+        bool positive_cycle = false;
+        for (size_t iter = 0; iter <= num_ops_ && changed; ++iter) {
+            changed = false;
+            for (const auto &e : edges_) {
+                int w = e.latency - ii * e.distance;
+                int cand = dist[static_cast<size_t>(e.from)] + w;
+                if (cand > dist[static_cast<size_t>(e.to)]) {
+                    dist[static_cast<size_t>(e.to)] = cand;
+                    changed = true;
+                    if (iter == num_ops_)
+                        positive_cycle = true;
+                }
+            }
+        }
+        if (!positive_cycle && !changed)
+            return ii;
+    }
+    return max_lat_sum;
+}
+
+std::string
+DependenceGraph::str() const
+{
+    std::ostringstream os;
+    static const char *names[] = {"true", "anti", "out", "mem"};
+    for (const auto &e : edges_) {
+        os << e.from << " -> " << e.to << " ["
+           << names[static_cast<size_t>(e.kind)] << " lat=" << e.latency
+           << " dist=" << e.distance << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace vvsp

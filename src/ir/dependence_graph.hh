@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Data-dependence graph over the operations of one block.
+ *
+ * Built for both acyclic (list) scheduling and modulo scheduling:
+ * every edge carries a latency and an iteration distance (0 for
+ * intra-iteration, >= 1 for loop-carried). Register dependences are
+ * exact; memory dependences are conservative within a
+ * (buffer, aliasToken) class, with kernel-declared streaming
+ * accesses (noCarriedAlias) exempt from loop-carried edges.
+ */
+
+#ifndef VVSP_IR_DEPENDENCE_GRAPH_HH
+#define VVSP_IR_DEPENDENCE_GRAPH_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace vvsp
+{
+
+/** Dependence kinds. */
+enum class DepKind : uint8_t
+{
+    True,   ///< read after write.
+    Anti,   ///< write after read.
+    Output, ///< write after write.
+    Memory, ///< ordering between memory operations.
+};
+
+/** One dependence edge between operation indices within a block. */
+struct DepEdge
+{
+    int from = -1;
+    int to = -1;
+    int latency = 0;  ///< min cycles from issue(from) to issue(to).
+    int distance = 0; ///< iteration distance (modulo scheduling).
+    DepKind kind = DepKind::True;
+};
+
+/** Returns the result latency of an operation on the target machine. */
+using LatencyFn = std::function<int(const Operation &)>;
+
+/** Dependence graph for one block of operations. */
+class DependenceGraph
+{
+  public:
+    /**
+     * Build the graph. When loopCarried is set, cross-iteration
+     * register and memory dependences (distance 1) are added for
+     * values that are live around the back edge.
+     */
+    DependenceGraph(const std::vector<Operation> &ops,
+                    const LatencyFn &latency, bool loop_carried);
+
+    size_t numOps() const { return num_ops_; }
+    const std::vector<DepEdge> &edges() const { return edges_; }
+
+    /** Edges into / out of an operation index. */
+    const std::vector<int> &predEdges(int op) const;
+    const std::vector<int> &succEdges(int op) const;
+
+    /**
+     * Length (in cycles) of the longest latency path from this op to
+     * any graph sink, counting only distance-0 edges; the classic
+     * list-scheduling height priority.
+     */
+    int height(int op) const;
+
+    /** Longest distance-0 latency path in the graph (critical path). */
+    int criticalPathLength() const;
+
+    /**
+     * Minimum initiation interval forced by dependence recurrences:
+     * max over cycles of ceil(latency_sum / distance_sum)
+     * (Rau's RecMII).
+     */
+    int recurrenceMii() const;
+
+    std::string str() const;
+
+  private:
+    void addEdge(int from, int to, int latency, int distance,
+                 DepKind kind);
+    void computeHeights();
+
+    size_t num_ops_;
+    std::vector<DepEdge> edges_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<int> heights_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_IR_DEPENDENCE_GRAPH_HH

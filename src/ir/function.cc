@@ -1,0 +1,85 @@
+#include "ir/function.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+const MemBuffer &
+Function::buffer(int id) const
+{
+    vvsp_assert(id >= 0 && id < static_cast<int>(buffers.size()),
+                "bad buffer id %d in function '%s'", id, name.c_str());
+    return buffers[static_cast<size_t>(id)];
+}
+
+MemBuffer &
+Function::buffer(int id)
+{
+    vvsp_assert(id >= 0 && id < static_cast<int>(buffers.size()),
+                "bad buffer id %d in function '%s'", id, name.c_str());
+    return buffers[static_cast<size_t>(id)];
+}
+
+int
+Function::bufferWords(int cluster, int bank) const
+{
+    int words = 0;
+    for (const auto &b : buffers) {
+        if (b.cluster == cluster && b.bank == bank)
+            words += b.sizeWords;
+    }
+    return words;
+}
+
+Function
+Function::clone() const
+{
+    Function f;
+    f.name = name;
+    f.body = cloneList(body);
+    f.buffers = buffers;
+    f.nextVreg_ = nextVreg_;
+    f.nextNodeId_ = nextNodeId_;
+    f.nextOpId_ = nextOpId_;
+    return f;
+}
+
+std::string
+Function::str() const
+{
+    std::ostringstream os;
+    os << "function " << name << "\n";
+    for (const auto &b : buffers) {
+        os << "  buffer b" << b.id << " '" << b.name << "' ["
+           << b.sizeWords << " words] cluster " << b.cluster << " bank "
+           << b.bank << "\n";
+    }
+    for (const auto &n : body)
+        os << n->str(1);
+    return os.str();
+}
+
+void
+Function::renumberOps()
+{
+    nextOpId_ = 0;
+    forEachNode(body, [this](Node &n) {
+        if (n.kind() == NodeKind::Block) {
+            for (auto &op : static_cast<BlockNode &>(n).ops)
+                op.id = newOpId();
+        }
+    });
+}
+
+void
+Function::renumberAll()
+{
+    nextNodeId_ = 0;
+    forEachNode(body, [this](Node &n) { n.id = newNodeId(); });
+    renumberOps();
+}
+
+} // namespace vvsp

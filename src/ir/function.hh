@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A kernel function: a structured region tree plus its local-memory
+ * buffers.
+ *
+ * Buffers name disjoint arrays in the cluster's local data RAM
+ * (reference window, current macroblock, coefficient tables, output
+ * area, ...). Kernels address buffers with word offsets; bank and
+ * base-address assignment happens when the code is mapped onto a
+ * concrete datapath model.
+ */
+
+#ifndef VVSP_IR_FUNCTION_HH
+#define VVSP_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/region.hh"
+
+namespace vvsp
+{
+
+/** A named array in cluster-local data RAM. */
+struct MemBuffer
+{
+    int id = -1;
+    std::string name;
+    /** Capacity in 16-bit words (the memory is word addressed). */
+    int sizeWords = 0;
+    /** Cluster that owns the buffer (multi-cluster schedules). */
+    int cluster = 0;
+    /** Memory bank within the cluster. */
+    int bank = 0;
+    /**
+     * Declared value range (signed 16-bit interpretation). Kernel
+     * authors declare tight ranges for pixel and coefficient data -
+     * "information that can be derived from the code specification"
+     * (Sec. 3.3) - which lets the multiply decomposition use the
+     * cheap 16x8 form when a factor provably fits 8 bits.
+     */
+    int minValue = -32768;
+    int maxValue = 32767;
+};
+
+/** A complete kernel. */
+class Function
+{
+  public:
+    std::string name;
+    NodeList body;
+    std::vector<MemBuffer> buffers;
+
+    /** Allocate a fresh virtual register. */
+    Vreg newVreg() { return nextVreg_++; }
+
+    /** Allocate a fresh node id. */
+    int newNodeId() { return nextNodeId_++; }
+
+    /** Allocate a fresh operation id. */
+    int newOpId() { return nextOpId_++; }
+
+    Vreg numVregs() const { return nextVreg_; }
+    int numNodeIds() const { return nextNodeId_; }
+    int numOpIds() const { return nextOpId_; }
+
+    /** Look up a buffer by id (panics on a bad id). */
+    const MemBuffer &buffer(int id) const;
+    MemBuffer &buffer(int id);
+
+    /** Total words of local memory used by all buffers in a bank. */
+    int bufferWords(int cluster, int bank) const;
+
+    /** Deep copy. */
+    Function clone() const;
+
+    /** Multi-line printable form. */
+    std::string str() const;
+
+    /**
+     * Renumber all operation ids densely in pre-order; call after a
+     * transformation that inserted or cloned operations.
+     */
+    void renumberOps();
+
+    /**
+     * Renumber node ids and operation ids densely in pre-order; call
+     * after a transformation that cloned nodes (profiles index by
+     * node id, which must stay unique).
+     */
+    void renumberAll();
+
+  private:
+    Vreg nextVreg_ = 0;
+    int nextNodeId_ = 0;
+    int nextOpId_ = 0;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_IR_FUNCTION_HH

@@ -1,0 +1,66 @@
+#include "ir/opcode.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+const OpcodeInfo kInfo[] = {
+    // name       fuClass           srcs dst   cmp    mem    br
+    {"nop",      FuClass::None,    0, false, false, false, false},
+    {"mov",      FuClass::Alu,     1, true,  false, false, false},
+    {"add",      FuClass::Alu,     2, true,  false, false, false},
+    {"sub",      FuClass::Alu,     2, true,  false, false, false},
+    {"abs",      FuClass::Alu,     1, true,  false, false, false},
+    {"absdiff",  FuClass::Alu,     2, true,  false, false, false},
+    {"min",      FuClass::Alu,     2, true,  false, false, false},
+    {"max",      FuClass::Alu,     2, true,  false, false, false},
+    {"and",      FuClass::Alu,     2, true,  false, false, false},
+    {"or",       FuClass::Alu,     2, true,  false, false, false},
+    {"xor",      FuClass::Alu,     2, true,  false, false, false},
+    {"not",      FuClass::Alu,     1, true,  false, false, false},
+    {"neg",      FuClass::Alu,     1, true,  false, false, false},
+    {"cmpeq",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmpne",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmplt",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmple",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmpgt",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmpge",    FuClass::Alu,     2, true,  true,  false, false},
+    {"cmpltu",   FuClass::Alu,     2, true,  true,  false, false},
+    {"select",   FuClass::Alu,     3, true,  false, false, false},
+    {"shl",      FuClass::Shift,   2, true,  false, false, false},
+    {"shr",      FuClass::Shift,   2, true,  false, false, false},
+    {"sra",      FuClass::Shift,   2, true,  false, false, false},
+    {"mul8",     FuClass::Mult,    2, true,  false, false, false},
+    {"mulu8",    FuClass::Mult,    2, true,  false, false, false},
+    {"muluu8",   FuClass::Mult,    2, true,  false, false, false},
+    {"mul16lo",  FuClass::Mult,    2, true,  false, false, false},
+    {"mul16hi",  FuClass::Mult,    2, true,  false, false, false},
+    {"load",     FuClass::Mem,     2, true,  false, true,  false},
+    {"store",    FuClass::Mem,     3, false, false, true,  false},
+    {"xfer",     FuClass::Xbar,    1, true,  false, false, false},
+    {"br",       FuClass::Branch,  0, false, false, false, true},
+    {"brcond",   FuClass::Branch,  1, false, false, false, true},
+};
+
+} // anonymous namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    vvsp_assert(idx < sizeof(kInfo) / sizeof(kInfo[0]),
+                "opcode %zu out of table", idx);
+    return kInfo[idx];
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+} // namespace vvsp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Operation set of the VLIW VSP (16-bit integer datapath).
+ *
+ * The machine's only native data type is the 16-bit integer
+ * (Sec. 2). Values are two's-complement; arithmetic wraps modulo
+ * 2^16. Every source operand of an ALU operation may be a register or
+ * an immediate (the long instruction word has room for literals).
+ *
+ * Functional-unit classes follow the cluster organization: each issue
+ * slot feeds one ALU plus at most one alternate unit (multiplier,
+ * shifter, or load/store unit); branches issue on the machine-wide
+ * control slot (operation 33 of the long instruction).
+ */
+
+#ifndef VVSP_IR_OPCODE_HH
+#define VVSP_IR_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vvsp
+{
+
+/** All operations understood by the schedulers and simulators. */
+enum class Opcode : uint8_t
+{
+    Nop,
+
+    // ALU class.
+    Mov,     ///< dst = src0.
+    Add,     ///< dst = src0 + src1.
+    Sub,     ///< dst = src0 - src1.
+    Abs,     ///< dst = |src0|.
+    AbsDiff, ///< dst = |src0 - src1| (special motion-search op).
+    Min,     ///< dst = min(src0, src1) signed.
+    Max,     ///< dst = max(src0, src1) signed.
+    And,     ///< dst = src0 & src1.
+    Or,      ///< dst = src0 | src1.
+    Xor,     ///< dst = src0 ^ src1.
+    Not,     ///< dst = ~src0.
+    Neg,     ///< dst = -src0.
+    CmpEq,   ///< dst = src0 == src1.
+    CmpNe,   ///< dst = src0 != src1.
+    CmpLt,   ///< dst = src0 < src1 (signed).
+    CmpLe,   ///< dst = src0 <= src1 (signed).
+    CmpGt,   ///< dst = src0 > src1 (signed).
+    CmpGe,   ///< dst = src0 >= src1 (signed).
+    CmpLtU,  ///< dst = src0 < src1 (unsigned).
+    Select,  ///< dst = src0 ? src1 : src2.
+
+    // Shifter class.
+    Shl, ///< dst = src0 << (src1 & 15).
+    Shr, ///< dst = src0 >> (src1 & 15), logical.
+    Sra, ///< dst = src0 >> (src1 & 15), arithmetic.
+
+    // Multiplier class.
+    Mul8,    ///< dst = sext8(src0) * sext8(src1), signed 8x8.
+    MulU8,   ///< dst = zext8(src0) * sext8(src1).
+    MulUU8,  ///< dst = zext8(src0) * zext8(src1).
+    Mul16Lo, ///< dst = (src0 * src1) & 0xffff (M16 models only).
+    Mul16Hi, ///< dst = (src0 * src1) >> 16 (M16 models only).
+
+    // Load/store class. Effective word address within the buffer is
+    // src-dependent: Load: src0 (+ src1); Store: src1 (+ src2).
+    Load,  ///< dst = buffer[addr].
+    Store, ///< buffer[addr] = src0.
+
+    // Crossbar transport.
+    Xfer, ///< dst (in destination cluster) = src0 (source cluster).
+
+    // Control (machine-wide slot).
+    Br,     ///< unconditional branch (loop close / exit).
+    BrCond, ///< branch if src0 (sense in the operation).
+};
+
+/** Functional-unit class an opcode executes on. */
+enum class FuClass : uint8_t
+{
+    None,   ///< Nop.
+    Alu,    ///< ALU operations.
+    Shift,  ///< barrel shifter.
+    Mult,   ///< multiplier.
+    Mem,    ///< load/store unit.
+    Xbar,   ///< crossbar port.
+    Branch, ///< machine-wide control slot.
+};
+
+/** Static properties of an opcode. */
+struct OpcodeInfo
+{
+    const char *name;
+    FuClass fuClass;
+    int numSrcs;      ///< architected source operands.
+    bool hasDst;
+    bool isCompare;   ///< produces a 0/1 predicate value.
+    bool isMemory;
+    bool isBranch;
+};
+
+/** Property table lookup. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Printable mnemonic. */
+std::string opcodeName(Opcode op);
+
+} // namespace vvsp
+
+#endif // VVSP_IR_OPCODE_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Structured intermediate representation.
+ *
+ * A kernel is a tree of regions rather than an arbitrary CFG: video
+ * kernels are structured loop nests, and a structured form makes
+ * loop unrolling, interchange, and if-conversion direct while still
+ * expressing the data-dependent control of the VBR coder (If and
+ * conditional Break nodes inside dynamic loops).
+ */
+
+#ifndef VVSP_IR_REGION_HH
+#define VVSP_IR_REGION_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace vvsp
+{
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+using NodeList = std::vector<NodePtr>;
+
+/** Node kinds of the structured IR tree. */
+enum class NodeKind : uint8_t
+{
+    Block, ///< straight-line (possibly predicated) operations.
+    Loop,  ///< counted or dynamic loop.
+    If,    ///< two-armed conditional.
+    Break, ///< exit the innermost enclosing loop (optionally guarded).
+};
+
+/** A node in the structured IR tree. */
+class Node
+{
+  public:
+    explicit Node(NodeKind kind) : kind_(kind) {}
+    virtual ~Node() = default;
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    NodeKind kind() const { return kind_; }
+
+    /** Unique id within the function (assigned by the builder). */
+    int id = -1;
+    /** Optional human-readable label. */
+    std::string label;
+
+    /** Deep copy (fresh node, same ids; builder can renumber). */
+    virtual NodePtr clone() const = 0;
+
+    /** Multi-line printable form. */
+    virtual std::string str(int indent = 0) const = 0;
+
+  private:
+    NodeKind kind_;
+};
+
+/** Straight-line code. */
+class BlockNode : public Node
+{
+  public:
+    BlockNode() : Node(NodeKind::Block) {}
+
+    std::vector<Operation> ops;
+
+    NodePtr clone() const override;
+    std::string str(int indent = 0) const override;
+};
+
+/**
+ * A loop. Counted loops (tripCount >= 0) expose their trip count to
+ * the unroller and the frame composer; dynamic loops (tripCount < 0)
+ * iterate until a Break fires. The induction variable, when present,
+ * reads 0, step, 2*step, ... in successive iterations; its update,
+ * compare, and back-edge branch are materialized by the scheduler's
+ * loop lowering so that transformations never have to repair them.
+ */
+class LoopNode : public Node
+{
+  public:
+    LoopNode() : Node(NodeKind::Loop) {}
+
+    /** Static trip count, or -1 for a dynamic (while) loop. */
+    long tripCount = -1;
+    /** Induction register, or kNoVreg. */
+    Vreg inductionVar = kNoVreg;
+    /** Induction step per iteration. */
+    int step = 1;
+    /**
+     * Initial induction value (default 0). A register initial value
+     * expresses strength-reduced pointer loops (the induction
+     * variable IS the array pointer); such loops must also set
+     * boundVreg so the loop-close compare has an end pointer.
+     */
+    Operand ivInit = Operand::ofImm(0);
+    /**
+     * Precomputed loop bound (ivInit + tripCount*step), required
+     * when ivInit is a register; kNoVreg otherwise.
+     */
+    Vreg boundVreg = kNoVreg;
+    /**
+     * True when iterations are independent (a do-all loop): the
+     * cluster assigner may replicate such loops SIMD-style across
+     * clusters (Sec. 3.3).
+     */
+    bool isDoAll = false;
+
+    NodeList body;
+
+    NodePtr clone() const override;
+    std::string str(int indent = 0) const override;
+};
+
+/** Two-armed conditional on a register (or immediate) condition. */
+class IfNode : public Node
+{
+  public:
+    IfNode() : Node(NodeKind::If) {}
+
+    Operand cond = Operand::none();
+    /** Condition sense: take thenBody when (cond != 0) == sense. */
+    bool sense = true;
+
+    NodeList thenBody;
+    NodeList elseBody;
+
+    NodePtr clone() const override;
+    std::string str(int indent = 0) const override;
+};
+
+/** Exit the innermost loop, optionally guarded by a condition. */
+class BreakNode : public Node
+{
+  public:
+    BreakNode() : Node(NodeKind::Break) {}
+
+    /** Break fires when cond is absent, or (cond != 0) == sense. */
+    Operand cond = Operand::none();
+    bool sense = true;
+
+    NodePtr clone() const override;
+    std::string str(int indent = 0) const override;
+};
+
+/** Deep-copy a node list. */
+NodeList cloneList(const NodeList &list);
+
+/** Visit every node in a list, pre-order. */
+void forEachNode(const NodeList &list,
+                 const std::function<void(const Node &)> &fn);
+
+/** Visit every node in a list, pre-order (mutable). */
+void forEachNode(NodeList &list, const std::function<void(Node &)> &fn);
+
+} // namespace vvsp
+
+#endif // VVSP_IR_REGION_HH

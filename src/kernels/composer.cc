@@ -1,0 +1,327 @@
+#include "kernels/composer.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+AvgProfile::AvgProfile(int num_node_ids)
+    : blockExec(static_cast<size_t>(num_node_ids), 0.0),
+      loopEntries(static_cast<size_t>(num_node_ids), 0.0),
+      loopIters(static_cast<size_t>(num_node_ids), 0.0),
+      ifThen(static_cast<size_t>(num_node_ids), 0.0),
+      ifElse(static_cast<size_t>(num_node_ids), 0.0)
+{
+}
+
+void
+AvgProfile::accumulate(const Profile &p)
+{
+    if (blockExec.size() < p.blockExec.size()) {
+        blockExec.resize(p.blockExec.size(), 0.0);
+        loopEntries.resize(p.blockExec.size(), 0.0);
+        loopIters.resize(p.blockExec.size(), 0.0);
+        ifThen.resize(p.blockExec.size(), 0.0);
+        ifElse.resize(p.blockExec.size(), 0.0);
+    }
+    for (size_t i = 0; i < p.blockExec.size(); ++i) {
+        blockExec[i] += static_cast<double>(p.blockExec[i]);
+        loopEntries[i] += static_cast<double>(p.loopEntries[i]);
+        loopIters[i] += static_cast<double>(p.loopIters[i]);
+        ifThen[i] += static_cast<double>(p.ifThen[i]);
+        ifElse[i] += static_cast<double>(p.ifElse[i]);
+    }
+}
+
+void
+AvgProfile::scale(double f)
+{
+    for (auto *v : {&blockExec, &loopEntries, &loopIters, &ifThen,
+                    &ifElse}) {
+        for (auto &x : *v)
+            x *= f;
+    }
+}
+
+std::string
+CompositionResult::str() const
+{
+    std::ostringstream os;
+    os << "cycles/unit=" << cyclesPerUnit
+       << " instrs=" << totalInstructions
+       << " hotLoopInstrs=" << hotLoopInstructions
+       << " maxLive=" << maxLive << (icacheOk ? "" : " ICACHE-OVERFLOW")
+       << (registersOk ? "" : " REGISTER-OVERFLOW");
+    return os.str();
+}
+
+namespace
+{
+
+double
+at(const std::vector<double> &v, int id)
+{
+    vvsp_assert(id >= 0 && id < static_cast<int>(v.size()),
+                "profile missing node %d", id);
+    return v[static_cast<size_t>(id)];
+}
+
+} // anonymous namespace
+
+std::vector<Operation>
+loopControlOps(Function &fn, const LoopNode &loop)
+{
+    std::vector<Operation> ops;
+    if (loop.tripCount < 0) {
+        Operation br;
+        br.op = Opcode::Br;
+        br.id = fn.newOpId();
+        ops.push_back(br);
+        return ops;
+    }
+    vvsp_assert(loop.inductionVar != kNoVreg,
+                "counted loop '%s' without an induction variable",
+                loop.label.c_str());
+    Operand bound;
+    if (loop.ivInit.isImm()) {
+        long b = loop.ivInit.imm + loop.tripCount * loop.step;
+        vvsp_assert(b < 65536,
+                    "loop '%s' bound %ld overflows 16-bit compare",
+                    loop.label.c_str(), b);
+        bound = Operand::ofImm(static_cast<int32_t>(b));
+    } else {
+        vvsp_assert(loop.boundVreg != kNoVreg,
+                    "pointer loop '%s' needs a precomputed bound",
+                    loop.label.c_str());
+        bound = Operand::ofReg(loop.boundVreg);
+    }
+    Operation add;
+    add.op = Opcode::Add;
+    add.dst = loop.inductionVar;
+    add.src = {Operand::ofReg(loop.inductionVar),
+               Operand::ofImm(loop.step), Operand::none()};
+    add.id = fn.newOpId();
+    Operation cmp;
+    cmp.op = Opcode::CmpNe;
+    cmp.dst = fn.newVreg();
+    cmp.src = {Operand::ofReg(loop.inductionVar), bound,
+               Operand::none()};
+    cmp.id = fn.newOpId();
+    Operation br;
+    br.op = Opcode::BrCond;
+    br.src[0] = Operand::ofReg(cmp.dst);
+    br.id = fn.newOpId();
+    ops.push_back(add);
+    ops.push_back(cmp);
+    ops.push_back(br);
+    return ops;
+}
+
+bool
+swpEligibleLoop(const LoopNode &loop, ScheduleMode mode)
+{
+    if (mode != ScheduleMode::Swp)
+        return false;
+    if (loop.tripCount < 1 || loop.body.empty())
+        return false;
+    for (const auto &n : loop.body) {
+        if (n->kind() != NodeKind::Block)
+            return false;
+    }
+    return true;
+}
+
+struct Composer::Walker
+{
+    Function &fn;
+    const MachineModel &machine;
+    ScheduleMode mode;
+    const AvgProfile &prof;
+    ListScheduler lsched;
+    ModuloScheduler msched;
+    CompositionResult result;
+
+    std::vector<Operation> pending;
+    double pendingCount = 0;
+    std::string pendingLabel;
+
+    Walker(Function &f, const MachineModel &m, ScheduleMode md,
+           const AvgProfile &p, BankOfFn bank_of)
+        : fn(f), machine(m), mode(md), prof(p),
+          lsched(m, bank_of), msched(m, bank_of)
+    {
+    }
+
+    void
+    flush()
+    {
+        if (pending.empty())
+            return;
+        BlockSchedule sched =
+            lsched.schedule(pending, mode == ScheduleMode::Sequential);
+        RegionCost rc;
+        rc.label = pendingLabel;
+        rc.execCount = pendingCount;
+        rc.length = sched.length;
+        rc.cycles = sched.length * pendingCount;
+        rc.instructions = sched.instructions;
+        rc.maxLive = sched.maxLive;
+        record(rc, pending.size());
+        pending.clear();
+        pendingCount = 0;
+        pendingLabel.clear();
+    }
+
+    void
+    record(const RegionCost &rc, size_t num_ops)
+    {
+        result.cyclesPerUnit += rc.cycles;
+        result.totalInstructions += rc.instructions;
+        result.maxLive = std::max(result.maxLive, rc.maxLive);
+        result.opsPerUnit +=
+            static_cast<double>(num_ops) * rc.execCount;
+        result.regions.push_back(rc);
+    }
+
+    void
+    appendOps(const std::vector<Operation> &ops, double count,
+              const std::string &label)
+    {
+        if (!pending.empty() && pendingCount != count)
+            flush();
+        if (pending.empty()) {
+            pendingCount = count;
+            pendingLabel = label;
+        }
+        pending.insert(pending.end(), ops.begin(), ops.end());
+    }
+
+    void
+    appendBranch(Operand cond, double count)
+    {
+        Operation br;
+        br.op = cond.isNone() ? Opcode::Br : Opcode::BrCond;
+        if (!cond.isNone())
+            br.src[0] = cond;
+        br.id = fn.newOpId();
+        appendOps({br}, count, "branch");
+        flush(); // a branch always terminates its group.
+    }
+
+    void
+    handleLoop(const LoopNode &loop)
+    {
+        flush();
+        int mark = result.totalInstructions;
+        double entries = at(prof.loopEntries, loop.id);
+        double iters = at(prof.loopIters, loop.id);
+
+        if (swpEligibleLoop(loop, mode)) {
+            std::vector<Operation> ops;
+            for (const auto &n : loop.body) {
+                const auto &block = static_cast<const BlockNode &>(*n);
+                ops.insert(ops.end(), block.ops.begin(),
+                           block.ops.end());
+            }
+            auto ctrl = loopControlOps(fn, loop);
+            ops.insert(ops.end(), ctrl.begin(), ctrl.end());
+            BlockSchedule sched =
+                msched.schedule(ops, machine.registersPerCluster());
+            RegionCost rc;
+            rc.label = "swp:" + loop.label;
+            rc.execCount = iters;
+            rc.ii = sched.ii;
+            rc.length = sched.length;
+            rc.cycles = entries * (sched.prologueCycles() +
+                                   sched.epilogueCycles()) +
+                        iters * sched.ii;
+            rc.instructions = sched.instructions;
+            rc.maxLive = sched.maxLive;
+            record(rc, ops.size());
+        } else {
+            walkList(loop.body);
+            auto ctrl = loopControlOps(fn, loop);
+            if (!pending.empty() && pendingCount != iters)
+                flush();
+            appendOps(ctrl, iters, "loop:" + loop.label);
+            flush();
+        }
+
+        int loop_instrs = result.totalInstructions - mark;
+        result.hotLoopInstructions =
+            std::max(result.hotLoopInstructions, loop_instrs);
+        if (loop_instrs > machine.icacheCapacity() && iters > 0)
+            result.icacheOk = false;
+    }
+
+    void
+    walkList(const NodeList &list)
+    {
+        for (const auto &n : list) {
+            switch (n->kind()) {
+              case NodeKind::Block: {
+                const auto &block = static_cast<const BlockNode &>(*n);
+                appendOps(block.ops, at(prof.blockExec, block.id),
+                          block.label);
+                break;
+              }
+              case NodeKind::Loop:
+                handleLoop(static_cast<const LoopNode &>(*n));
+                break;
+              case NodeKind::If: {
+                const auto &iff = static_cast<const IfNode &>(*n);
+                double evals = at(prof.ifThen, iff.id) +
+                               at(prof.ifElse, iff.id);
+                // Conditional branch closing the preceding group.
+                if (pending.empty())
+                    pendingCount = evals;
+                appendBranch(iff.cond, pending.empty()
+                                           ? evals
+                                           : pendingCount);
+                walkList(iff.thenBody);
+                if (!iff.elseBody.empty()) {
+                    // Skip over the else arm.
+                    appendBranch(Operand::none(),
+                                 at(prof.ifThen, iff.id));
+                    walkList(iff.elseBody);
+                }
+                flush();
+                break;
+              }
+              case NodeKind::Break: {
+                const auto &brk = static_cast<const BreakNode &>(*n);
+                appendBranch(brk.cond, pendingCount);
+                break;
+              }
+            }
+        }
+    }
+};
+
+Composer::Composer(const MachineModel &machine, ScheduleMode mode)
+    : machine_(machine), mode_(mode)
+{
+}
+
+CompositionResult
+Composer::compose(Function &fn, const AvgProfile &profile)
+{
+    BankOfFn bank_of = [&fn](int buffer) {
+        return fn.buffer(buffer).bank;
+    };
+    Walker walker(fn, machine_, mode_, profile, bank_of);
+    walker.walkList(fn.body);
+    walker.flush();
+    walker.result.registersOk =
+        walker.result.maxLive <= machine_.registersPerCluster();
+    if (walker.result.hotLoopInstructions > machine_.icacheCapacity())
+        walker.result.icacheOk = false;
+    return walker.result;
+}
+
+} // namespace vvsp

@@ -1,0 +1,72 @@
+#include "kernels/kernel.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+const VariantSpec &
+KernelSpec::variant(const std::string &vname) const
+{
+    for (const auto &v : variants) {
+        if (v.name == vname)
+            return v;
+    }
+    vvsp_fatal("kernel '%s' has no variant '%s'", name.c_str(),
+               vname.c_str());
+}
+
+const std::vector<KernelSpec> &
+allKernels()
+{
+    static const std::vector<KernelSpec> kernels = [] {
+        std::vector<KernelSpec> k;
+        k.push_back(makeFullSearchKernel());
+        k.push_back(makeThreeStepKernel());
+        k.push_back(makeDctTraditionalKernel());
+        k.push_back(makeDctRowColKernel());
+        k.push_back(makeColorConvertKernel());
+        k.push_back(makeVbrKernel());
+        return k;
+    }();
+    return kernels;
+}
+
+const KernelSpec &
+kernelByName(const std::string &name)
+{
+    for (const auto &k : allKernels()) {
+        if (k.name == name)
+            return k;
+    }
+    vvsp_fatal("unknown kernel '%s'", name.c_str());
+}
+
+int
+bufferIdByName(const Function &fn, const std::string &name)
+{
+    for (const auto &b : fn.buffers) {
+        if (b.name == name)
+            return b.id;
+    }
+    vvsp_panic("function '%s' has no buffer '%s'", fn.name.c_str(),
+               name.c_str());
+}
+
+void
+fillAllByName(const Function &fn, MemoryImage &mem,
+              const std::string &name,
+              const std::vector<uint16_t> &data)
+{
+    bool found = false;
+    for (const auto &b : fn.buffers) {
+        if (b.name == name) {
+            mem.fill(b.id, 0, data);
+            found = true;
+        }
+    }
+    vvsp_assert(found, "function '%s' has no buffer '%s'",
+                fn.name.c_str(), name.c_str());
+}
+
+} // namespace vvsp

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Kernel and variant descriptors.
+ *
+ * A kernel (one Table 1 section: Full Motion Search, Three-step
+ * Search, the two DCTs, the color converter, the VBR coder) is a set
+ * of *variants* - the paper's per-row "schedules". Each variant is a
+ * machine-independent IR builder plus a transform recipe and a
+ * scheduling strategy; machine-dependent lowering (multiply
+ * decomposition, addressing modes, bank assignment) is applied per
+ * datapath model by the experiment driver.
+ *
+ * One kernel invocation processes one *unit* (a macroblock for the
+ * searches and the color converter, an 8x8 block for the DCTs and
+ * the VBR coder); the composer scales unit cycles to a frame.
+ */
+
+#ifndef VVSP_KERNELS_KERNEL_HH
+#define VVSP_KERNELS_KERNEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "sim/memory_image.hh"
+#include "support/random.hh"
+#include "video/frame.hh"
+
+namespace vvsp
+{
+
+/** How a variant's code is scheduled. */
+enum class ScheduleMode
+{
+    Sequential, ///< one operation per instruction (baseline rows).
+    Wide,       ///< list scheduling at full width.
+    Swp,        ///< software pipelining of eligible innermost loops.
+};
+
+/** Fills a unit's input buffers (by buffer name) for unit `index`. */
+using PrepareFn = std::function<void(const Function &fn, MemoryImage &mem,
+                                     const FrameGeometry &geom,
+                                     int index)>;
+
+/** Computes expected output-buffer contents from the inputs. */
+using GoldenFn = std::function<void(const Function &fn,
+                                    MemoryImage &mem)>;
+
+/** One Table 1 row. */
+struct VariantSpec
+{
+    /** Row label, e.g. "SW pipelined & unrolled". */
+    std::string name;
+    ScheduleMode mode = ScheduleMode::Sequential;
+    /** SIMD replication of units across clusters (do-all). */
+    bool replicate = true;
+    /** Gang this many clusters on one unit (Sec. 3.3 "widen"). */
+    int gangClusters = 1;
+    /** Gang every cluster in the machine (VBR list scheduling). */
+    bool gangAllClusters = false;
+    /** Requires the absolute-difference ALU ("Add spec. op" rows). */
+    bool needsAbsDiff = false;
+    /** Build the variant's IR (machine independent). */
+    std::function<Function()> build;
+    /** Machine-independent transform recipe (unroll, ifcvt, ...). */
+    std::function<void(Function &)> transform;
+    /** Variant-specific expected output (default: kernel golden). */
+    GoldenFn goldenOverride;
+};
+
+/** One Table 1 section. */
+struct KernelSpec
+{
+    std::string name;
+    /** Kernel invocations per frame of the given geometry. */
+    std::function<double(const FrameGeometry &)> unitsPerFrame;
+    /** Buffers compared against the golden reference, by name. */
+    std::vector<std::string> outputBuffers;
+    PrepareFn prepare;
+    GoldenFn golden;
+    std::vector<VariantSpec> variants;
+
+    const VariantSpec &variant(const std::string &name) const;
+};
+
+/** All six kernels, in Table 1 order. */
+const std::vector<KernelSpec> &allKernels();
+
+/** Look up a kernel by name. */
+const KernelSpec &kernelByName(const std::string &name);
+
+// Individual kernel factories (see the per-kernel .cc files).
+KernelSpec makeFullSearchKernel();
+KernelSpec makeThreeStepKernel();
+KernelSpec makeDctTraditionalKernel();
+KernelSpec makeDctRowColKernel();
+KernelSpec makeColorConvertKernel();
+KernelSpec makeVbrKernel();
+
+/** Find a buffer id by name (first match; panics if absent). */
+int bufferIdByName(const Function &fn, const std::string &name);
+
+/**
+ * Fill every buffer with the given name (replicated read-only
+ * buffers share their original's name and contents).
+ */
+void fillAllByName(const Function &fn, MemoryImage &mem,
+                   const std::string &name,
+                   const std::vector<uint16_t> &data);
+
+} // namespace vvsp
+
+#endif // VVSP_KERNELS_KERNEL_HH

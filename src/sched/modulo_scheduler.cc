@@ -1,0 +1,240 @@
+#include "sched/modulo_scheduler.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/reg_pressure.hh"
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+ModuloScheduler::ModuloScheduler(const MachineModel &machine,
+                                 BankOfFn bank_of)
+    : machine_(machine), bank_of_(std::move(bank_of))
+{
+}
+
+int
+ModuloScheduler::resourceMii(const std::vector<Operation> &ops) const
+{
+    // Per-cluster class counts.
+    std::map<int, int> total, mult, shift, absdiff, sends, receives;
+    std::map<std::pair<int, int>, int> mem; // (cluster, bank).
+    int branches = 0;
+    for (const auto &op : ops) {
+        switch (op.info().fuClass) {
+          case FuClass::Branch:
+            branches++;
+            continue;
+          case FuClass::None:
+            continue;
+          default:
+            break;
+        }
+        total[op.cluster]++;
+        switch (op.info().fuClass) {
+          case FuClass::Mult:
+            mult[op.cluster]++;
+            break;
+          case FuClass::Shift:
+            shift[op.cluster]++;
+            break;
+          case FuClass::Mem: {
+            int bank = bank_of_ ? bank_of_(op.buffer) : 0;
+            mem[{op.cluster, bank}]++;
+            break;
+          }
+          case FuClass::Xbar:
+            sends[op.cluster]++;
+            receives[op.dstCluster]++;
+            break;
+          default:
+            break;
+        }
+        if (op.op == Opcode::AbsDiff)
+            absdiff[op.cluster]++;
+    }
+
+    auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
+    const ClusterConfig &cl = machine_.config().cluster;
+    int mii = std::max(1, branches);
+    for (const auto &[c, k] : total)
+        mii = std::max(mii, ceil_div(k, cl.issueSlots));
+    for (const auto &[c, k] : mult)
+        mii = std::max(mii, ceil_div(k, cl.numMultipliers));
+    for (const auto &[c, k] : shift)
+        mii = std::max(mii, ceil_div(k, cl.numShifters));
+    (void)absdiff; // abs-diff issues from any ALU slot.
+    for (const auto &[cb, k] : mem) {
+        int bank = cb.second;
+        int servers = 0;
+        for (const auto &caps : machine_.slotCaps()) {
+            if (caps.memBank == -2 || caps.memBank == bank)
+                servers++;
+        }
+        vvsp_assert(servers > 0, "no load/store unit serves bank %d",
+                    bank);
+        mii = std::max(mii, ceil_div(k, servers));
+    }
+    int ports = machine_.crossbarPortsPerCluster();
+    for (const auto &[c, k] : sends)
+        mii = std::max(mii, ceil_div(k, ports));
+    for (const auto &[c, k] : receives)
+        mii = std::max(mii, ceil_div(k, ports));
+    return mii;
+}
+
+bool
+ModuloScheduler::attempt(const std::vector<Operation> &ops,
+                         const DependenceGraph &ddg, int ii,
+                         std::vector<int> *start) const
+{
+    const int n = static_cast<int>(ops.size());
+    start->assign(static_cast<size_t>(n), -1);
+    std::vector<int> prev(static_cast<size_t>(n), -1);
+    std::vector<int> slot_of(static_cast<size_t>(n), -1);
+    ReservationTable table(machine_, ii, bank_of_);
+
+    auto unschedule = [&](int i) {
+        if ((*start)[static_cast<size_t>(i)] < 0)
+            return;
+        table.release(ops[static_cast<size_t>(i)],
+                      (*start)[static_cast<size_t>(i)],
+                      slot_of[static_cast<size_t>(i)]);
+        (*start)[static_cast<size_t>(i)] = -1;
+    };
+
+    long budget = 32L * n + 256;
+    while (true) {
+        // Highest-priority unscheduled op.
+        int op_idx = -1;
+        for (int i = 0; i < n; ++i) {
+            if ((*start)[static_cast<size_t>(i)] >= 0)
+                continue;
+            if (op_idx < 0 || ddg.height(i) > ddg.height(op_idx))
+                op_idx = i;
+        }
+        if (op_idx < 0)
+            return true; // all placed.
+        if (budget-- <= 0)
+            return false;
+
+        int estart = 0;
+        for (int e : ddg.predEdges(op_idx)) {
+            const DepEdge &edge = ddg.edges()[static_cast<size_t>(e)];
+            int from = (*start)[static_cast<size_t>(edge.from)];
+            if (from < 0)
+                continue;
+            estart = std::max(estart,
+                              from + edge.latency - ii * edge.distance);
+        }
+
+        const Operation &op = ops[static_cast<size_t>(op_idx)];
+        int placed_at = -1, slot = -1;
+        for (int t = estart; t < estart + ii; ++t) {
+            if (table.tryReserve(op, t, &slot)) {
+                placed_at = t;
+                break;
+            }
+        }
+        if (placed_at < 0) {
+            // Forced placement: free the modulo row and take it.
+            int t = std::max(estart,
+                             prev[static_cast<size_t>(op_idx)] + 1);
+            for (int i = 0; i < n; ++i) {
+                int s = (*start)[static_cast<size_t>(i)];
+                if (s >= 0 && s % ii == t % ii)
+                    unschedule(i);
+            }
+            bool ok = table.tryReserve(op, t, &slot);
+            vvsp_assert(ok, "forced placement failed at t=%d ii=%d", t,
+                        ii);
+            placed_at = t;
+        }
+        (*start)[static_cast<size_t>(op_idx)] = placed_at;
+        slot_of[static_cast<size_t>(op_idx)] = slot;
+        prev[static_cast<size_t>(op_idx)] = placed_at;
+
+        // Evict successors whose dependence the new placement breaks.
+        for (int e : ddg.succEdges(op_idx)) {
+            const DepEdge &edge = ddg.edges()[static_cast<size_t>(e)];
+            int to = (*start)[static_cast<size_t>(edge.to)];
+            if (edge.to == op_idx || to < 0)
+                continue;
+            if (to < placed_at + edge.latency - ii * edge.distance)
+                unschedule(edge.to);
+        }
+        // Self-edges (loop-carried) must hold: lat <= ii * dist.
+        for (int e : ddg.succEdges(op_idx)) {
+            const DepEdge &edge = ddg.edges()[static_cast<size_t>(e)];
+            if (edge.to == op_idx && edge.latency > ii * edge.distance)
+                return false; // recurrence cannot fit this II.
+        }
+    }
+}
+
+BlockSchedule
+ModuloScheduler::schedule(const std::vector<Operation> &ops,
+                          int max_live_target) const
+{
+    const int n = static_cast<int>(ops.size());
+    vvsp_assert(n > 0, "modulo scheduling an empty block");
+    for (const auto &op : ops) {
+        vvsp_assert(machine_.canExecute(op),
+                    "%s cannot execute '%s' (recipe must lower it)",
+                    machine_.name().c_str(), op.str().c_str());
+    }
+
+    DependenceGraph ddg(ops, machine_.latencyFn(), /*loop_carried=*/true);
+    int mii = std::max(resourceMii(ops), ddg.recurrenceMii());
+
+    auto build = [&](int ii,
+                     const std::vector<int> &start) -> BlockSchedule {
+        BlockSchedule result;
+        result.ii = ii;
+        result.placed.assign(static_cast<size_t>(n), PlacedOp{});
+        int max_start = 0;
+        for (int i = 0; i < n; ++i) {
+            result.placed[static_cast<size_t>(i)] =
+                PlacedOp{start[static_cast<size_t>(i)],
+                         ops[static_cast<size_t>(i)].cluster, 0};
+            max_start = std::max(max_start,
+                                 start[static_cast<size_t>(i)]);
+        }
+        result.stages = max_start / ii + 1;
+        result.length = max_start + 1;
+        // Kernel-only code: the machine's predicated execution fills
+        // and drains the pipeline from the same II instruction words
+        // (prologue/epilogue cost cycles but no icache space).
+        result.instructions = ii;
+        result.maxLive = maxLivePerCluster(ops, result, machine_, ii);
+        return result;
+    };
+
+    std::vector<int> start;
+    BlockSchedule best;
+    bool have_best = false;
+    int pressure_retries = 0;
+    for (int ii = mii; ii <= mii + 2 * n + 16; ++ii) {
+        if (!attempt(ops, ddg, ii, &start))
+            continue;
+        BlockSchedule cand = build(ii, start);
+        if (max_live_target <= 0 || cand.maxLive <= max_live_target)
+            return cand;
+        if (!have_best || cand.maxLive < best.maxLive) {
+            best = cand;
+            have_best = true;
+        }
+        // A few slack steps often untangle the bin-packing enough
+        // for value lifetimes to shorten; give up after that.
+        if (++pressure_retries >= 6)
+            return best;
+    }
+    if (have_best)
+        return best;
+    vvsp_panic("modulo scheduler found no II for %d ops on %s", n,
+               machine_.name().c_str());
+}
+
+} // namespace vvsp

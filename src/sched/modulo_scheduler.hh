@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Iterative modulo scheduler (software pipelining).
+ *
+ * Implements Rau's iterative modulo scheduling: the initiation
+ * interval starts at MII = max(ResMII, RecMII) and grows until a
+ * feasible schedule is found. Operation placement uses height
+ * priority with a backtracking budget; forced placements evict
+ * conflicting operations and dependence-violating successors.
+ *
+ * This is the "software pipelining" the paper applies to every
+ * data-parallel kernel (Sec. 3.3); the full-motion-search inner loop
+ * reaches II = 1 on an unconstrained cluster and II = 2 when the
+ * single load/store unit of the I4C8* clusters is the bottleneck
+ * (Sec. 3.4.1).
+ */
+
+#ifndef VVSP_SCHED_MODULO_SCHEDULER_HH
+#define VVSP_SCHED_MODULO_SCHEDULER_HH
+
+#include <vector>
+
+#include "arch/machine_model.hh"
+#include "sched/reservation_table.hh"
+#include "sched/schedule.hh"
+
+namespace vvsp
+{
+
+/** Modulo scheduler for an innermost-loop body. */
+class ModuloScheduler
+{
+  public:
+    ModuloScheduler(const MachineModel &machine, BankOfFn bank_of);
+
+    /**
+     * Software-pipeline the loop-body ops (cluster fields assigned;
+     * loop-control ops included). Panics if no schedule is found up
+     * to a generous II bound, which would be a scheduler bug since
+     * II = length(list schedule) is always feasible.
+     *
+     * When max_live_target > 0 and the minimum-II schedule needs
+     * more simultaneously-live values than the target, the II is
+     * increased a few steps looking for a schedule that fits the
+     * register file (Rau's register-pressure-driven II growth); the
+     * lowest-pressure schedule found is returned either way.
+     */
+    BlockSchedule schedule(const std::vector<Operation> &ops,
+                           int max_live_target = 0) const;
+
+    /** Resource-constrained lower bound on the II. */
+    int resourceMii(const std::vector<Operation> &ops) const;
+
+  private:
+    bool attempt(const std::vector<Operation> &ops,
+                 const DependenceGraph &ddg, int ii,
+                 std::vector<int> *start) const;
+
+    const MachineModel &machine_;
+    BankOfFn bank_of_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SCHED_MODULO_SCHEDULER_HH

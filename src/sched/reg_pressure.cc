@@ -1,0 +1,90 @@
+#include "sched/reg_pressure.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+struct Lifetime
+{
+    int def = -1;      ///< issue cycle of the definition (-1: live-in).
+    int last_use = -1; ///< latest issue cycle of a reader.
+    int cluster = 0;
+};
+
+} // anonymous namespace
+
+int
+maxLivePerCluster(const std::vector<Operation> &ops,
+                  const BlockSchedule &sched, const MachineModel &machine,
+                  int ii)
+{
+    (void)machine;
+    // (vreg, cluster) -> lifetime. A transferred value has separate
+    // lifetimes in the sending and receiving register files.
+    std::map<std::pair<Vreg, int>, Lifetime> lives;
+
+    auto read = [&](Vreg r, int cluster, int cycle) {
+        auto &lt = lives[{r, cluster}];
+        lt.cluster = cluster;
+        lt.last_use = std::max(lt.last_use, cycle);
+    };
+
+    const int n = static_cast<int>(ops.size());
+    for (int i = 0; i < n; ++i) {
+        const Operation &op = ops[static_cast<size_t>(i)];
+        const PlacedOp &p = sched.placed[static_cast<size_t>(i)];
+        for (const auto &s : op.src) {
+            if (s.isReg())
+                read(s.reg, op.cluster, p.cycle);
+        }
+        if (op.pred.isReg())
+            read(op.pred.reg, op.cluster, p.cycle);
+        if (op.info().hasDst && op.dst != kNoVreg) {
+            int home = op.op == Opcode::Xfer ? op.dstCluster
+                                             : op.cluster;
+            auto &lt = lives[{op.dst, home}];
+            lt.cluster = home;
+            if (lt.def < 0)
+                lt.def = p.cycle;
+            else
+                lt.def = std::min(lt.def, p.cycle);
+        }
+    }
+
+    int horizon = 1;
+    for (int i = 0; i < n; ++i)
+        horizon = std::max(horizon, sched.placed[static_cast<size_t>(
+                                        i)].cycle + 2);
+
+    int rows = ii > 0 ? ii : horizon;
+    std::map<int, std::vector<int>> pressure; // cluster -> per-row.
+    for (const auto &[key, lt] : lives) {
+        int from = lt.def < 0 ? 0 : lt.def;
+        int to = std::max(lt.last_use, from);
+        // Live-in values with no recorded use still occupy a register
+        // at their use cycle only (already covered by last_use).
+        auto &rowvec = pressure[lt.cluster];
+        if (rowvec.empty())
+            rowvec.assign(static_cast<size_t>(rows), 0);
+        for (int t = from; t <= to; ++t) {
+            rowvec[static_cast<size_t>(ii > 0 ? t % ii
+                                              : std::min(t, rows - 1))]++;
+        }
+    }
+
+    int peak = 0;
+    for (const auto &[cluster, rowvec] : pressure) {
+        for (int v : rowvec)
+            peak = std::max(peak, v);
+    }
+    return peak;
+}
+
+} // namespace vvsp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Register-pressure (MaxLive) analysis of a scheduled block.
+ *
+ * The schedulers work on unbounded virtual registers; this analysis
+ * enforces the cluster's register-file capacity after the fact, the
+ * way the paper rejects schedules that "require more registers than
+ * are available in one cluster" (Sec. 3.4.3). For modulo schedules
+ * the lifetime of each value wraps the initiation interval, so a
+ * value living longer than one II counts once per overlapped stage
+ * (the cost modulo variable expansion would pay in real code).
+ */
+
+#ifndef VVSP_SCHED_REG_PRESSURE_HH
+#define VVSP_SCHED_REG_PRESSURE_HH
+
+#include <vector>
+
+#include "arch/machine_model.hh"
+#include "sched/schedule.hh"
+
+namespace vvsp
+{
+
+/**
+ * Peak number of simultaneously live values in any one cluster.
+ *
+ * @param ops      the block's operations.
+ * @param sched    their placement.
+ * @param machine  the datapath (for latencies).
+ * @param ii       initiation interval; 0 for acyclic schedules.
+ */
+int maxLivePerCluster(const std::vector<Operation> &ops,
+                      const BlockSchedule &sched,
+                      const MachineModel &machine, int ii);
+
+} // namespace vvsp
+
+#endif // VVSP_SCHED_REG_PRESSURE_HH

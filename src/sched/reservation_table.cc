@@ -1,0 +1,170 @@
+#include "sched/reservation_table.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+ReservationTable::ReservationTable(const MachineModel &machine, int ii,
+                                   BankOfFn bank_of, bool width1)
+    : machine_(machine), ii_(ii), bank_of_(std::move(bank_of)),
+      width1_(width1)
+{
+    if (ii_ > 0)
+        rows_.resize(static_cast<size_t>(ii_));
+}
+
+int
+ReservationTable::row(int cycle) const
+{
+    vvsp_assert(cycle >= 0, "negative cycle %d", cycle);
+    return ii_ > 0 ? cycle % ii_ : cycle;
+}
+
+ReservationTable::CycleState &
+ReservationTable::state(int cycle)
+{
+    size_t r = static_cast<size_t>(row(cycle));
+    if (r >= rows_.size())
+        rows_.resize(r + 1);
+    CycleState &cs = rows_[r];
+    size_t slots = static_cast<size_t>(machine_.clusters() *
+                                       machine_.slotsPerCluster());
+    if (cs.slotBusy.empty()) {
+        cs.slotBusy.assign(slots, 0);
+        cs.sends.assign(static_cast<size_t>(machine_.clusters()), 0);
+        cs.receives.assign(static_cast<size_t>(machine_.clusters()), 0);
+    }
+    return cs;
+}
+
+const ReservationTable::CycleState *
+ReservationTable::stateIfAny(int cycle) const
+{
+    size_t r = static_cast<size_t>(row(cycle));
+    if (r >= rows_.size() || rows_[r].slotBusy.empty())
+        return nullptr;
+    return &rows_[r];
+}
+
+bool
+ReservationTable::slotCompatible(int slot, const Operation &op) const
+{
+    const SlotCaps &caps =
+        machine_.slotCaps()[static_cast<size_t>(slot)];
+    switch (op.info().fuClass) {
+      case FuClass::Alu:
+        return op.op == Opcode::AbsDiff ? caps.absDiff : caps.alu;
+      case FuClass::Shift:
+        return caps.shift;
+      case FuClass::Mult:
+        return caps.mult;
+      case FuClass::Mem: {
+        if (caps.memBank == -1)
+            return false;
+        if (caps.memBank == -2)
+            return true;
+        int bank = bank_of_ ? bank_of_(op.buffer) : 0;
+        return caps.memBank == bank;
+      }
+      case FuClass::Xbar:
+        return true; // any slot can push a value to its port.
+      case FuClass::Branch:
+      case FuClass::None:
+        return true;
+    }
+    return false;
+}
+
+bool
+ReservationTable::tryReserve(const Operation &op, int cycle,
+                             int *slot_out)
+{
+    CycleState &cs = state(cycle);
+    const int slots = machine_.slotsPerCluster();
+    const int cluster = op.cluster;
+    vvsp_assert(cluster >= 0 && cluster < machine_.clusters(),
+                "op on cluster %d of %d", cluster, machine_.clusters());
+
+    if (width1_ && cs.totalOps >= 1)
+        return false;
+
+    if (op.info().isBranch) {
+        if (cs.branchBusy)
+            return false;
+        cs.branchBusy = true;
+        cs.totalOps++;
+        *slot_out = -1;
+        return true;
+    }
+
+    if (op.op == Opcode::Xfer) {
+        int ports = machine_.crossbarPortsPerCluster();
+        if (cs.sends[static_cast<size_t>(cluster)] >= ports)
+            return false;
+        if (cs.receives[static_cast<size_t>(op.dstCluster)] >= ports)
+            return false;
+    }
+
+    // ALU ops prefer the least-specialized free slot so the
+    // alternate-unit slots stay available for the operations that
+    // need them; alternate-unit ops are essentially slot-bound.
+    int chosen = -1;
+    int chosen_specialization = 99;
+    for (int s = 0; s < slots; ++s) {
+        const SlotCaps &caps =
+            machine_.slotCaps()[static_cast<size_t>(s)];
+        if (cs.slotBusy[static_cast<size_t>(cluster * slots + s)])
+            continue;
+        if (!slotCompatible(s, op))
+            continue;
+        int specialization = (caps.mult ? 1 : 0) +
+                             (caps.shift ? 1 : 0) +
+                             (caps.memBank != -1 ? 1 : 0);
+        if (op.info().fuClass != FuClass::Alu) {
+            chosen = s;
+            break;
+        }
+        if (specialization < chosen_specialization) {
+            chosen = s;
+            chosen_specialization = specialization;
+        }
+    }
+    if (chosen < 0)
+        return false;
+
+    cs.slotBusy[static_cast<size_t>(cluster * slots + chosen)] = 1;
+    cs.totalOps++;
+    if (op.op == Opcode::Xfer) {
+        cs.sends[static_cast<size_t>(cluster)]++;
+        cs.receives[static_cast<size_t>(op.dstCluster)]++;
+    }
+    *slot_out = chosen;
+    return true;
+}
+
+void
+ReservationTable::release(const Operation &op, int cycle, int slot)
+{
+    CycleState &cs = state(cycle);
+    cs.totalOps--;
+    if (op.info().isBranch) {
+        cs.branchBusy = false;
+        return;
+    }
+    const int slots = machine_.slotsPerCluster();
+    cs.slotBusy[static_cast<size_t>(op.cluster * slots + slot)] = 0;
+    if (op.op == Opcode::Xfer) {
+        cs.sends[static_cast<size_t>(op.cluster)]--;
+        cs.receives[static_cast<size_t>(op.dstCluster)]--;
+    }
+}
+
+int
+ReservationTable::opsAt(int cycle) const
+{
+    const CycleState *cs = stateIfAny(cycle);
+    return cs ? cs->totalOps : 0;
+}
+
+} // namespace vvsp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Cycle-by-cycle resource bookkeeping for the schedulers.
+ *
+ * Tracks, per cycle: issue-slot occupancy per cluster (with slot
+ * capability matching), the machine-wide control slot for branches,
+ * crossbar send/receive ports per cluster, and an optional global
+ * width-1 constraint used for the paper's sequential baselines
+ * ("limited to one operation per instruction"). For modulo
+ * scheduling the table wraps modulo the initiation interval.
+ */
+
+#ifndef VVSP_SCHED_RESERVATION_TABLE_HH
+#define VVSP_SCHED_RESERVATION_TABLE_HH
+
+#include <functional>
+#include <vector>
+
+#include "arch/machine_model.hh"
+
+namespace vvsp
+{
+
+/** Maps a buffer id to its memory bank (from the function). */
+using BankOfFn = std::function<int(int buffer)>;
+
+/** Per-cycle resource reservations. */
+class ReservationTable
+{
+  public:
+    /**
+     * @param machine the target datapath.
+     * @param ii      initiation interval; 0 for acyclic scheduling.
+     * @param bank_of resolves memory ops' buffers to banks.
+     * @param width1  global one-operation-per-cycle mode.
+     */
+    ReservationTable(const MachineModel &machine, int ii,
+                     BankOfFn bank_of, bool width1 = false);
+
+    /**
+     * Try to reserve resources for op at the given cycle; on success
+     * records the reservation and returns the chosen slot in
+     * *slot_out (-1 for control-slot ops). The op's cluster field
+     * selects the cluster; Xfer ops also charge the destination
+     * cluster's receive port.
+     */
+    bool tryReserve(const Operation &op, int cycle, int *slot_out);
+
+    /** Release a previous reservation (modulo-scheduler eviction). */
+    void release(const Operation &op, int cycle, int slot);
+
+    /** Number of operations currently reserved at a cycle. */
+    int opsAt(int cycle) const;
+
+  private:
+    struct CycleState
+    {
+        /** slotBusy[cluster * slots + slot]. */
+        std::vector<uint8_t> slotBusy;
+        std::vector<uint8_t> sends;    ///< per-cluster crossbar sends.
+        std::vector<uint8_t> receives; ///< per-cluster receives.
+        bool branchBusy = false;
+        int totalOps = 0;
+    };
+
+    CycleState &state(int cycle);
+    const CycleState *stateIfAny(int cycle) const;
+    int row(int cycle) const;
+
+    bool slotCompatible(int slot, const Operation &op) const;
+
+    const MachineModel &machine_;
+    int ii_;
+    BankOfFn bank_of_;
+    bool width1_;
+    std::vector<CycleState> rows_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SCHED_RESERVATION_TABLE_HH

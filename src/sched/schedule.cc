@@ -1,0 +1,37 @@
+#include "sched/schedule.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+double
+BlockSchedule::loopCycles(double trips) const
+{
+    if (trips <= 0)
+        return 0.0;
+    if (isModulo()) {
+        // Prologue fill + one initiation per iteration + drain.
+        return prologueCycles() + static_cast<double>(ii) * trips +
+               epilogueCycles();
+    }
+    return static_cast<double>(length) * trips;
+}
+
+std::string
+BlockSchedule::str() const
+{
+    std::ostringstream os;
+    if (isModulo()) {
+        os << "modulo: II=" << ii << " stages=" << stages
+           << " instrs=" << instructions << " maxLive=" << maxLive;
+    } else {
+        os << "acyclic: len=" << length << " instrs=" << instructions
+           << " maxLive=" << maxLive;
+    }
+    return os.str();
+}
+
+} // namespace vvsp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Result of scheduling one block onto a datapath model.
+ *
+ * Acyclic (list) schedules report their length in cycles including
+ * the closing branch and its delay slots. Modulo schedules report
+ * the initiation interval, stage count, and prologue/epilogue
+ * lengths. Both report instruction-word counts (for the icache-fit
+ * check) and the peak register pressure per cluster.
+ */
+
+#ifndef VVSP_SCHED_SCHEDULE_HH
+#define VVSP_SCHED_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/operation.hh"
+
+namespace vvsp
+{
+
+/** Where one operation landed. */
+struct PlacedOp
+{
+    int cycle = -1;   ///< issue cycle (absolute, from block start).
+    int cluster = 0;  ///< executing cluster.
+    int slot = -1;    ///< issue slot within the cluster (-1: control).
+};
+
+/** A scheduled block. */
+struct BlockSchedule
+{
+    /** Placement per operation index (parallel to the op vector). */
+    std::vector<PlacedOp> placed;
+
+    /** Acyclic: cycles from first issue to end of branch shadow. */
+    int length = 0;
+
+    /** Modulo schedule: initiation interval (0 for acyclic). */
+    int ii = 0;
+    /** Modulo schedule: number of overlapped stages. */
+    int stages = 0;
+
+    /** Long-instruction words occupied in the instruction cache. */
+    int instructions = 0;
+
+    /** Peak simultaneously-live values in any one cluster. */
+    int maxLive = 0;
+
+    /** True when this is a software-pipelined (modulo) schedule. */
+    bool isModulo() const { return ii > 0; }
+
+    /** Prologue cycles before the kernel reaches steady state. */
+    int prologueCycles() const { return isModulo() ? (stages - 1) * ii : 0; }
+
+    /** Epilogue cycles draining the pipeline after the last start. */
+    int epilogueCycles() const { return prologueCycles(); }
+
+    /**
+     * Total cycles to run `trips` iterations of a modulo-scheduled
+     * loop, or trips * length for an acyclic loop-body schedule.
+     */
+    double loopCycles(double trips) const;
+
+    /** Human-readable summary line. */
+    std::string str() const;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SCHED_SCHEDULE_HH

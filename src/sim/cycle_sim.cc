@@ -1,0 +1,395 @@
+#include "sim/cycle_sim.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/dependence_graph.hh"
+#include "kernels/composer.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "sched/reservation_table.hh"
+#include "sim/interpreter.hh"
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+struct CycleSim::Engine
+{
+    Function &fn;
+    const MachineModel &machine;
+    ScheduleMode mode;
+    MemoryImage &mem;
+    CycleSimReport report;
+
+    ListScheduler lsched;
+    ModuloScheduler msched;
+    BankOfFn bankOf;
+
+    std::vector<uint16_t> regs;
+    std::vector<Operation> pending;
+
+    /** Schedule cache, keyed by the group's first op id and size. */
+    std::map<std::pair<int, size_t>, BlockSchedule> acyclicCache;
+    std::map<int, BlockSchedule> moduloCache;       // by loop node id.
+    std::map<int, std::vector<Operation>> ctrlCache; // by loop id.
+    std::map<int, std::vector<Operation>> swpOpsCache;
+
+    enum class Flow { Normal, Break };
+
+    Engine(Function &f, const MachineModel &m, ScheduleMode md,
+           MemoryImage &image, BankOfFn bank_of)
+        : fn(f), machine(m), mode(md), mem(image), lsched(m, bank_of),
+          msched(m, bank_of), bankOf(bank_of),
+          regs(f.numVregs() + 4096, 0)
+    {
+    }
+
+    uint16_t
+    value(const Operand &o) const
+    {
+        switch (o.kind) {
+          case Operand::Kind::Reg:
+            vvsp_assert(o.reg < regs.size(), "v%u out of range",
+                        o.reg);
+            return regs[o.reg];
+          case Operand::Kind::Imm:
+            return static_cast<uint16_t>(o.imm);
+          case Operand::Kind::None:
+            return 0;
+        }
+        return 0;
+    }
+
+    void
+    growRegs()
+    {
+        if (fn.numVregs() > regs.size())
+            regs.resize(fn.numVregs() + 4096, 0);
+    }
+
+    /** Functionally execute one op against current state. */
+    void
+    execute(const Operation &op)
+    {
+        if (op.op == Opcode::Nop)
+            return;
+        if (op.info().isBranch)
+            return; // control handled by the tree walk.
+        bool holds = !op.isPredicated() ||
+                     (value(op.pred) != 0) == op.predSense;
+        if (!holds) {
+            report.nullified++;
+            return;
+        }
+        report.operations++;
+        switch (op.op) {
+          case Opcode::Load: {
+            int addr = static_cast<uint16_t>(value(op.src[0]) +
+                                             value(op.src[1]));
+            regs.at(op.dst) = mem.read(op.buffer, addr);
+            break;
+          }
+          case Opcode::Store: {
+            int addr = static_cast<uint16_t>(value(op.src[1]) +
+                                             value(op.src[2]));
+            mem.write(op.buffer, addr, value(op.src[0]));
+            break;
+          }
+          case Opcode::Xfer:
+            report.transfers++;
+            regs.at(op.dst) = value(op.src[0]);
+            break;
+          default:
+            regs.at(op.dst) = alu16::evaluate(op.op, value(op.src[0]),
+                                              value(op.src[1]),
+                                              value(op.src[2]));
+        }
+    }
+
+    /**
+     * Independently re-verify a schedule: resource legality via a
+     * fresh reservation table and dependence timing via a rebuilt
+     * dependence graph.
+     */
+    void
+    verifySchedule(const std::vector<Operation> &ops,
+                   const BlockSchedule &sched, bool width1)
+    {
+        ReservationTable table(machine, sched.ii, bankOf, width1);
+        // Reserve hardest-constrained classes first within each
+        // cycle: a set the scheduler accumulated greedily is
+        // feasible, and this order always finds the witness
+        // assignment (alternate-unit ops are slot-bound, ALUs fill
+        // the remaining slots).
+        auto hardness = [](const Operation &op) {
+            switch (op.info().fuClass) {
+              case FuClass::Mem:
+              case FuClass::Mult:
+              case FuClass::Shift:
+                return 0;
+              case FuClass::Xbar:
+                return 1;
+              default:
+                return 2;
+            }
+        };
+        std::vector<size_t> order(ops.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        auto row = [&sched](size_t i) {
+            int c = sched.placed[i].cycle;
+            return sched.ii > 0 ? c % sched.ii : c;
+        };
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             if (row(a) != row(b))
+                                 return row(a) < row(b);
+                             return hardness(ops[a]) <
+                                    hardness(ops[b]);
+                         });
+        for (size_t i : order) {
+            // In width-1 mode the trailing branch's instruction slot
+            // is charged analytically by the block-length formula
+            // (it conceptually shifts the ops in its delay shadow),
+            // so its placement may share a cycle number here.
+            if (width1 && ops[i].info().isBranch)
+                continue;
+            int slot = -1;
+            bool ok = table.tryReserve(ops[i], sched.placed[i].cycle,
+                                       &slot);
+            vvsp_assert(ok, "resource violation for '%s' at cycle %d",
+                        ops[i].str().c_str(), sched.placed[i].cycle);
+        }
+        DependenceGraph ddg(ops, machine.latencyFn(), sched.ii > 0);
+        int ii = sched.ii > 0 ? sched.ii : 1 << 20;
+        for (const auto &e : ddg.edges()) {
+            int tf = sched.placed[static_cast<size_t>(e.from)].cycle;
+            int tt = sched.placed[static_cast<size_t>(e.to)].cycle;
+            vvsp_assert(tt + ii * e.distance >= tf + e.latency,
+                        "timing violation %d -> %d (lat %d dist %d, "
+                        "t %d -> %d, ii %d)",
+                        e.from, e.to, e.latency, e.distance, tf, tt,
+                        sched.ii);
+        }
+    }
+
+    /** Execute an acyclic group: schedule (cached), verify, run. */
+    void
+    flush()
+    {
+        if (pending.empty())
+            return;
+        bool width1 = mode == ScheduleMode::Sequential;
+        auto key = std::make_pair(pending.front().id, pending.size());
+        auto it = acyclicCache.find(key);
+        if (it == acyclicCache.end()) {
+            BlockSchedule sched = lsched.schedule(pending, width1);
+            verifySchedule(pending, sched, width1);
+            it = acyclicCache.emplace(key, std::move(sched)).first;
+        }
+        const BlockSchedule &sched = it->second;
+
+        // Execute in issue order, reads-before-writes within a cycle.
+        std::vector<size_t> order(pending.size());
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&sched](size_t a, size_t b) {
+                             return sched.placed[a].cycle <
+                                    sched.placed[b].cycle;
+                         });
+        // Program order within a cycle is safe: anti-dependences
+        // always point forward in program order.
+        std::stable_sort(order.begin(), order.end(),
+                         [&sched](size_t a, size_t b) {
+                             if (sched.placed[a].cycle !=
+                                 sched.placed[b].cycle) {
+                                 return sched.placed[a].cycle <
+                                        sched.placed[b].cycle;
+                             }
+                             return a < b;
+                         });
+        for (size_t i : order)
+            execute(pending[i]);
+
+        report.cycles += sched.length;
+        report.instructions +=
+            static_cast<uint64_t>(sched.length);
+        pending.clear();
+    }
+
+    void
+    append(const std::vector<Operation> &ops)
+    {
+        pending.insert(pending.end(), ops.begin(), ops.end());
+    }
+
+    void
+    appendBranchAndFlush(Operand cond)
+    {
+        Operation br;
+        br.op = cond.isNone() ? Opcode::Br : Opcode::BrCond;
+        if (!cond.isNone())
+            br.src[0] = cond;
+        br.id = fn.newOpId();
+        pending.push_back(br);
+        flush();
+    }
+
+    const std::vector<Operation> &
+    controlFor(const LoopNode &loop)
+    {
+        auto it = ctrlCache.find(loop.id);
+        if (it == ctrlCache.end()) {
+            it = ctrlCache.emplace(loop.id, loopControlOps(fn, loop))
+                     .first;
+            growRegs();
+        }
+        return it->second;
+    }
+
+    void
+    runSwpLoop(const LoopNode &loop)
+    {
+        auto oit = swpOpsCache.find(loop.id);
+        if (oit == swpOpsCache.end()) {
+            std::vector<Operation> ops;
+            for (const auto &n : loop.body) {
+                const auto &block = static_cast<const BlockNode &>(*n);
+                ops.insert(ops.end(), block.ops.begin(),
+                           block.ops.end());
+            }
+            const auto &ctrl = controlFor(loop);
+            ops.insert(ops.end(), ctrl.begin(), ctrl.end());
+            oit = swpOpsCache.emplace(loop.id, std::move(ops)).first;
+        }
+        const auto &ops = oit->second;
+
+        auto mit = moduloCache.find(loop.id);
+        if (mit == moduloCache.end()) {
+            BlockSchedule sched =
+                msched.schedule(ops, machine.registersPerCluster());
+            verifySchedule(ops, sched, false);
+            mit = moduloCache.emplace(loop.id, std::move(sched)).first;
+        }
+        const BlockSchedule &sched = mit->second;
+
+        uint16_t base = value(loop.ivInit);
+        for (long k = 0; k < loop.tripCount; ++k) {
+            if (loop.inductionVar != kNoVreg) {
+                regs.at(loop.inductionVar) = static_cast<uint16_t>(
+                    base + k * loop.step);
+            }
+            for (const auto &op : ops)
+                execute(op);
+        }
+        report.cycles +=
+            sched.prologueCycles() +
+            static_cast<double>(sched.ii) * loop.tripCount +
+            sched.epilogueCycles();
+        report.instructions += static_cast<uint64_t>(
+            sched.ii * loop.tripCount);
+    }
+
+    Flow
+    runLoop(const LoopNode &loop)
+    {
+        flush();
+        if (swpEligibleLoop(loop, mode)) {
+            runSwpLoop(loop);
+            return Flow::Normal;
+        }
+        const auto &ctrl = controlFor(loop);
+        uint16_t base = value(loop.ivInit);
+        uint64_t iter = 0;
+        Flow flow = Flow::Normal;
+        while (loop.tripCount < 0 ||
+               iter < static_cast<uint64_t>(loop.tripCount)) {
+            vvsp_assert(iter < (1ull << 24),
+                        "runaway dynamic loop '%s'",
+                        loop.label.c_str());
+            if (loop.inductionVar != kNoVreg) {
+                regs.at(loop.inductionVar) = static_cast<uint16_t>(
+                    base + iter * static_cast<uint64_t>(loop.step));
+            }
+            Flow f = runList(loop.body);
+            if (f == Flow::Break) {
+                flow = Flow::Normal;
+                flush();
+                return flow;
+            }
+            append(ctrl);
+            flush();
+            ++iter;
+        }
+        return Flow::Normal;
+    }
+
+    Flow
+    runList(const NodeList &list)
+    {
+        for (const auto &n : list) {
+            switch (n->kind()) {
+              case NodeKind::Block:
+                append(static_cast<const BlockNode &>(*n).ops);
+                break;
+              case NodeKind::Loop: {
+                Flow f = runLoop(static_cast<const LoopNode &>(*n));
+                if (f == Flow::Break)
+                    return f;
+                break;
+              }
+              case NodeKind::If: {
+                const auto &iff = static_cast<const IfNode &>(*n);
+                // The pending group computes the condition; it must
+                // execute before the condition is read.
+                appendBranchAndFlush(iff.cond);
+                bool taken = (value(iff.cond) != 0) == iff.sense;
+                if (taken) {
+                    Flow f = runList(iff.thenBody);
+                    if (f == Flow::Break)
+                        return f;
+                    if (!iff.elseBody.empty())
+                        appendBranchAndFlush(Operand::none());
+                } else {
+                    Flow f = runList(iff.elseBody);
+                    if (f == Flow::Break)
+                        return f;
+                }
+                flush();
+                break;
+              }
+              case NodeKind::Break: {
+                const auto &brk = static_cast<const BreakNode &>(*n);
+                appendBranchAndFlush(brk.cond);
+                bool fires = brk.cond.isNone() ||
+                             (value(brk.cond) != 0) == brk.sense;
+                if (fires)
+                    return Flow::Break;
+                break;
+              }
+            }
+        }
+        return Flow::Normal;
+    }
+};
+
+CycleSim::CycleSim(const MachineModel &machine, ScheduleMode mode)
+    : machine_(machine), mode_(mode)
+{
+}
+
+CycleSimReport
+CycleSim::run(Function &fn, MemoryImage &mem)
+{
+    BankOfFn bank_of = [&fn](int buffer) {
+        return fn.buffer(buffer).bank;
+    };
+    Engine engine(fn, machine_, mode_, mem, bank_of);
+    engine.runList(fn.body);
+    engine.flush();
+    return engine.report;
+}
+
+} // namespace vvsp

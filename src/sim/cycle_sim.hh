@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-level simulator.
+ *
+ * Executes a lowered kernel on a datapath model with real control
+ * flow (no profile weighting): every straight-line group is
+ * scheduled exactly as the composer schedules it, then executed
+ * operation by operation while the simulator independently verifies
+ *
+ *  - operand timing: no operation issues before its source values
+ *    are ready (issue + latency of the producer, including load-use
+ *    and multiply delays, modulo-schedule iteration overlap, and
+ *    crossbar transfer latency);
+ *  - resource legality: a fresh reservation table re-checks every
+ *    placement (slot capabilities, banked memory ports, the global
+ *    control slot, crossbar ports);
+ *  - functional state: 16-bit register/memory semantics identical to
+ *    the Interpreter's.
+ *
+ * The resulting cycle count is exact for the simulated input and
+ * must equal the composer's profile-based prediction when the
+ * profile comes from the same input - the equivalence test the test
+ * suite runs for every kernel variant.
+ */
+
+#ifndef VVSP_SIM_CYCLE_SIM_HH
+#define VVSP_SIM_CYCLE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/machine_model.hh"
+#include "kernels/kernel.hh"
+#include "sim/memory_image.hh"
+
+namespace vvsp
+{
+
+/** Cycle-simulation outcome. */
+struct CycleSimReport
+{
+    double cycles = 0;          ///< total executed cycles.
+    uint64_t operations = 0;    ///< operations executed (non-nop).
+    uint64_t nullified = 0;     ///< predicated-off operations.
+    uint64_t transfers = 0;     ///< crossbar transfers executed.
+    uint64_t instructions = 0;  ///< long instruction words issued.
+};
+
+/** Cycle-accurate executor for lowered kernels. */
+class CycleSim
+{
+  public:
+    CycleSim(const MachineModel &machine, ScheduleMode mode);
+
+    /**
+     * Execute the function against the memory image (modified in
+     * place). Panics on any timing or resource violation - those are
+     * scheduler bugs by construction.
+     */
+    CycleSimReport run(Function &fn, MemoryImage &mem);
+
+  private:
+    struct Engine;
+
+    const MachineModel &machine_;
+    ScheduleMode mode_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SIM_CYCLE_SIM_HH

@@ -1,0 +1,262 @@
+#include "sim/interpreter.hh"
+
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+Profile::Profile(int num_node_ids)
+    : blockExec(static_cast<size_t>(num_node_ids), 0),
+      loopEntries(static_cast<size_t>(num_node_ids), 0),
+      loopIters(static_cast<size_t>(num_node_ids), 0),
+      ifThen(static_cast<size_t>(num_node_ids), 0),
+      ifElse(static_cast<size_t>(num_node_ids), 0)
+{
+}
+
+namespace alu16
+{
+
+namespace
+{
+
+int16_t
+s(uint16_t v)
+{
+    return static_cast<int16_t>(v);
+}
+
+uint16_t
+u(int v)
+{
+    return static_cast<uint16_t>(v);
+}
+
+} // anonymous namespace
+
+uint16_t
+evaluate(Opcode op, uint16_t a, uint16_t b, uint16_t c)
+{
+    switch (op) {
+      case Opcode::Mov:
+        return a;
+      case Opcode::Add:
+        return u(a + b);
+      case Opcode::Sub:
+        return u(a - b);
+      case Opcode::Abs:
+        return u(std::abs(static_cast<int>(s(a))));
+      case Opcode::AbsDiff:
+        return u(std::abs(static_cast<int>(s(a)) -
+                          static_cast<int>(s(b))));
+      case Opcode::Min:
+        return s(a) < s(b) ? a : b;
+      case Opcode::Max:
+        return s(a) > s(b) ? a : b;
+      case Opcode::And:
+        return a & b;
+      case Opcode::Or:
+        return a | b;
+      case Opcode::Xor:
+        return a ^ b;
+      case Opcode::Not:
+        return ~a;
+      case Opcode::Neg:
+        return u(-static_cast<int>(s(a)));
+      case Opcode::CmpEq:
+        return a == b;
+      case Opcode::CmpNe:
+        return a != b;
+      case Opcode::CmpLt:
+        return s(a) < s(b);
+      case Opcode::CmpLe:
+        return s(a) <= s(b);
+      case Opcode::CmpGt:
+        return s(a) > s(b);
+      case Opcode::CmpGe:
+        return s(a) >= s(b);
+      case Opcode::CmpLtU:
+        return a < b;
+      case Opcode::Select:
+        return a != 0 ? b : c;
+      case Opcode::Shl:
+        return u(a << (b & 15));
+      case Opcode::Shr:
+        return a >> (b & 15);
+      case Opcode::Sra:
+        return u(s(a) >> (b & 15));
+      case Opcode::Mul8:
+        return u(static_cast<int8_t>(a & 0xff) *
+                 static_cast<int8_t>(b & 0xff));
+      case Opcode::MulU8:
+        return u(static_cast<int>(a & 0xff) *
+                 static_cast<int8_t>(b & 0xff));
+      case Opcode::MulUU8:
+        return u(static_cast<int>(a & 0xff) *
+                 static_cast<int>(b & 0xff));
+      case Opcode::Mul16Lo:
+        return u(static_cast<int>(s(a)) * static_cast<int>(s(b)));
+      case Opcode::Mul16Hi:
+        return u((static_cast<int32_t>(s(a)) *
+                  static_cast<int32_t>(s(b))) >> 16);
+      case Opcode::Xfer:
+        return a;
+      default:
+        vvsp_panic("alu16::evaluate of %s", opcodeName(op).c_str());
+    }
+}
+
+} // namespace alu16
+
+Interpreter::Interpreter(const Function &fn)
+    : fn_(fn), regs_(fn.numVregs(), 0), profile_(fn.numNodeIds())
+{
+}
+
+uint16_t
+Interpreter::value(const Operand &o) const
+{
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        vvsp_assert(o.reg < regs_.size(), "read of v%u out of range",
+                    o.reg);
+        return regs_[o.reg];
+      case Operand::Kind::Imm:
+        return static_cast<uint16_t>(o.imm);
+      case Operand::Kind::None:
+        return 0;
+    }
+    return 0;
+}
+
+bool
+Interpreter::predicateHolds(const Operation &op) const
+{
+    if (!op.isPredicated())
+        return true;
+    return (value(op.pred) != 0) == op.predSense;
+}
+
+void
+Interpreter::runBlock(const BlockNode &block, MemoryImage &mem)
+{
+    profile_.blockExec[static_cast<size_t>(block.id)]++;
+    for (const auto &op : block.ops) {
+        if (op.op == Opcode::Nop)
+            continue;
+        if (!predicateHolds(op)) {
+            profile_.nullifiedOps++;
+            continue;
+        }
+        profile_.dynamicOps++;
+        switch (op.op) {
+          case Opcode::Load: {
+            int addr = static_cast<uint16_t>(value(op.src[0]) +
+                                             value(op.src[1]));
+            regs_.at(op.dst) = mem.read(op.buffer, addr);
+            break;
+          }
+          case Opcode::Store: {
+            int addr = static_cast<uint16_t>(value(op.src[1]) +
+                                             value(op.src[2]));
+            mem.write(op.buffer, addr, value(op.src[0]));
+            break;
+          }
+          case Opcode::Br:
+          case Opcode::BrCond:
+            vvsp_panic("branch op in unlowered IR: %s",
+                       op.str().c_str());
+          default:
+            regs_.at(op.dst) = alu16::evaluate(op.op, value(op.src[0]),
+                                               value(op.src[1]),
+                                               value(op.src[2]));
+        }
+    }
+}
+
+Interpreter::Flow
+Interpreter::runNode(const Node &node, MemoryImage &mem)
+{
+    switch (node.kind()) {
+      case NodeKind::Block:
+        runBlock(static_cast<const BlockNode &>(node), mem);
+        return Flow::Normal;
+
+      case NodeKind::Loop: {
+        const auto &loop = static_cast<const LoopNode &>(node);
+        profile_.loopEntries[static_cast<size_t>(loop.id)]++;
+        uint16_t iv_base = value(loop.ivInit);
+        uint64_t iter = 0;
+        while (loop.tripCount < 0 ||
+               iter < static_cast<uint64_t>(loop.tripCount)) {
+            vvsp_assert(iter < max_iters_,
+                        "dynamic loop '%s' exceeded %llu iterations",
+                        loop.label.c_str(),
+                        static_cast<unsigned long long>(max_iters_));
+            if (loop.inductionVar != kNoVreg) {
+                regs_.at(loop.inductionVar) = static_cast<uint16_t>(
+                    iv_base +
+                    iter * static_cast<uint64_t>(loop.step));
+            }
+            profile_.loopIters[static_cast<size_t>(loop.id)]++;
+            Flow f = runList(loop.body, mem);
+            ++iter;
+            if (f == Flow::Break)
+                break;
+        }
+        return Flow::Normal;
+      }
+
+      case NodeKind::If: {
+        const auto &iff = static_cast<const IfNode &>(node);
+        bool taken = (value(iff.cond) != 0) == iff.sense;
+        if (taken) {
+            profile_.ifThen[static_cast<size_t>(iff.id)]++;
+            return runList(iff.thenBody, mem);
+        }
+        profile_.ifElse[static_cast<size_t>(iff.id)]++;
+        return runList(iff.elseBody, mem);
+      }
+
+      case NodeKind::Break: {
+        const auto &brk = static_cast<const BreakNode &>(node);
+        if (brk.cond.isNone() ||
+            (value(brk.cond) != 0) == brk.sense) {
+            return Flow::Break;
+        }
+        return Flow::Normal;
+      }
+    }
+    return Flow::Normal;
+}
+
+Interpreter::Flow
+Interpreter::runList(const NodeList &list, MemoryImage &mem)
+{
+    for (const auto &n : list) {
+        Flow f = runNode(*n, mem);
+        if (f == Flow::Break)
+            return f;
+    }
+    return Flow::Normal;
+}
+
+Profile
+Interpreter::run(MemoryImage &mem)
+{
+    profile_ = Profile(fn_.numNodeIds());
+    regs_.assign(fn_.numVregs(), 0);
+    runList(fn_.body, mem);
+    return profile_;
+}
+
+uint16_t
+Interpreter::regValue(Vreg r) const
+{
+    vvsp_assert(r < regs_.size(), "regValue of v%u out of range", r);
+    return regs_[r];
+}
+
+} // namespace vvsp

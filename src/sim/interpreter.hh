@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Functional interpreter of kernel IR.
+ *
+ * Executes the structured IR directly on 16-bit semantics. It serves
+ * two purposes:
+ *  1. correctness oracle: every transformed kernel variant must
+ *     produce buffer contents bit-identical to the golden C++
+ *     reference (and to the untransformed IR);
+ *  2. profiler: execution counts of every block, loop, and If arm
+ *     feed the frame-level cycle composer, which is how the
+ *     data-dependent VBR coder is costed with "typical data"
+ *     exactly as in the paper.
+ */
+
+#ifndef VVSP_SIM_INTERPRETER_HH
+#define VVSP_SIM_INTERPRETER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hh"
+#include "sim/memory_image.hh"
+
+namespace vvsp
+{
+
+/** Dynamic execution counts, indexed by node id. */
+struct Profile
+{
+    std::vector<uint64_t> blockExec;   ///< times each block ran.
+    std::vector<uint64_t> loopEntries; ///< times each loop was entered.
+    std::vector<uint64_t> loopIters;   ///< total iterations of each loop.
+    std::vector<uint64_t> ifThen;      ///< then-arm executions.
+    std::vector<uint64_t> ifElse;      ///< else-arm executions.
+    uint64_t dynamicOps = 0;           ///< operations executed.
+    uint64_t nullifiedOps = 0;         ///< predicated-off operations.
+
+    explicit Profile(int num_node_ids = 0);
+};
+
+/** 16-bit arithmetic helpers shared with the cycle simulator. */
+namespace alu16
+{
+
+/** Evaluate a non-memory, non-control opcode on 16-bit values. */
+uint16_t evaluate(Opcode op, uint16_t a, uint16_t b, uint16_t c);
+
+} // namespace alu16
+
+/** Functional IR interpreter. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Function &fn);
+
+    /**
+     * Run the function against the given memory image (modified in
+     * place); returns the execution profile.
+     */
+    Profile run(MemoryImage &mem);
+
+    /** Safety bound for dynamic loops. */
+    void setMaxLoopIterations(uint64_t n) { max_iters_ = n; }
+
+    /** Last value of a virtual register (for tests). */
+    uint16_t regValue(Vreg r) const;
+
+  private:
+    enum class Flow { Normal, Break };
+
+    Flow runList(const NodeList &list, MemoryImage &mem);
+    Flow runNode(const Node &node, MemoryImage &mem);
+    void runBlock(const BlockNode &block, MemoryImage &mem);
+    uint16_t value(const Operand &o) const;
+    bool predicateHolds(const Operation &op) const;
+
+    const Function &fn_;
+    std::vector<uint16_t> regs_;
+    Profile profile_;
+    uint64_t max_iters_ = 1ull << 32;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SIM_INTERPRETER_HH

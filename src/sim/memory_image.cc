@@ -1,0 +1,67 @@
+#include "sim/memory_image.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+MemoryImage::MemoryImage(const Function &fn)
+{
+    store_.reserve(fn.buffers.size());
+    for (const auto &b : fn.buffers)
+        store_.emplace_back(static_cast<size_t>(b.sizeWords), 0);
+}
+
+uint16_t
+MemoryImage::read(int buffer, int addr) const
+{
+    vvsp_assert(buffer >= 0 &&
+                    buffer < static_cast<int>(store_.size()),
+                "read from unknown buffer %d", buffer);
+    const auto &words = store_[static_cast<size_t>(buffer)];
+    vvsp_assert(addr >= 0 && addr < static_cast<int>(words.size()),
+                "read of word %d beyond buffer %d (%zu words)", addr,
+                buffer, words.size());
+    return words[static_cast<size_t>(addr)];
+}
+
+void
+MemoryImage::write(int buffer, int addr, uint16_t value)
+{
+    vvsp_assert(buffer >= 0 &&
+                    buffer < static_cast<int>(store_.size()),
+                "write to unknown buffer %d", buffer);
+    auto &words = store_[static_cast<size_t>(buffer)];
+    vvsp_assert(addr >= 0 && addr < static_cast<int>(words.size()),
+                "write of word %d beyond buffer %d (%zu words)", addr,
+                buffer, words.size());
+    words[static_cast<size_t>(addr)] = value;
+}
+
+const std::vector<uint16_t> &
+MemoryImage::bufferWords(int buffer) const
+{
+    vvsp_assert(buffer >= 0 &&
+                    buffer < static_cast<int>(store_.size()),
+                "unknown buffer %d", buffer);
+    return store_[static_cast<size_t>(buffer)];
+}
+
+std::vector<uint16_t> &
+MemoryImage::bufferWords(int buffer)
+{
+    vvsp_assert(buffer >= 0 &&
+                    buffer < static_cast<int>(store_.size()),
+                "unknown buffer %d", buffer);
+    return store_[static_cast<size_t>(buffer)];
+}
+
+void
+MemoryImage::fill(int buffer, int offset,
+                  const std::vector<uint16_t> &data)
+{
+    for (size_t i = 0; i < data.size(); ++i)
+        write(buffer, offset + static_cast<int>(i), data[i]);
+}
+
+} // namespace vvsp

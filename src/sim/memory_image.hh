@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Contents of a cluster's local data memories for functional and
+ * cycle simulation: one 16-bit word array per IR buffer.
+ *
+ * The local RAM is word addressed and double buffered (Sec. 3.2);
+ * the image models the compute-side buffer, with off-chip I/O filling
+ * it between kernel invocations.
+ */
+
+#ifndef VVSP_SIM_MEMORY_IMAGE_HH
+#define VVSP_SIM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace vvsp
+{
+
+/** Backing storage for every buffer of a function. */
+class MemoryImage
+{
+  public:
+    /** Create zero-filled storage for all buffers of fn. */
+    explicit MemoryImage(const Function &fn);
+
+    /** Read a word (panics on out-of-bounds: a kernel bug). */
+    uint16_t read(int buffer, int addr) const;
+
+    /** Write a word. */
+    void write(int buffer, int addr, uint16_t value);
+
+    /** Whole-buffer access for test setup/verification. */
+    const std::vector<uint16_t> &bufferWords(int buffer) const;
+    std::vector<uint16_t> &bufferWords(int buffer);
+
+    /** Copy a span of values into a buffer starting at offset. */
+    void fill(int buffer, int offset, const std::vector<uint16_t> &data);
+
+    size_t numBuffers() const { return store_.size(); }
+
+  private:
+    std::vector<std::vector<uint16_t>> store_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SIM_MEMORY_IMAGE_HH

@@ -1,0 +1,73 @@
+#include "support/random.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int
+Rng::uniform(int lo, int hi)
+{
+    vvsp_assert(lo <= hi, "bad uniform range [%d, %d]", lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+double
+Rng::uniform01()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussian(double sigma)
+{
+    double acc = 0.0;
+    for (int i = 0; i < 8; ++i)
+        acc += uniform01();
+    // Irwin-Hall(8): mean 4, variance 8/12.
+    return (acc - 4.0) / 0.8164965809277261 * sigma;
+}
+
+} // namespace vvsp

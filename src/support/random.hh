@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * workload synthesis. A fixed algorithm (xoshiro256**) is used rather
+ * than std::mt19937 so that generated video frames are bit-identical
+ * across standard libraries.
+ */
+
+#ifndef VVSP_SUPPORT_RANDOM_HH
+#define VVSP_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace vvsp
+{
+
+/** Deterministic xoshiro256** PRNG. */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed expanded via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int uniform(int lo, int hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /**
+     * Approximately normal sample (Irwin-Hall of 8 uniforms),
+     * mean 0, standard deviation sigma.
+     */
+    double gaussian(double sigma);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SUPPORT_RANDOM_HH

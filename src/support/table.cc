@@ -1,0 +1,93 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace vvsp
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back(Row{{}, true});
+}
+
+std::string
+TextTable::str() const
+{
+    // Compute column widths.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r.cells);
+
+    size_t line_width = 0;
+    for (size_t w : widths)
+        line_width += w + 2;
+
+    std::ostringstream os;
+    auto emit = [&os, &widths](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size()) {
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+            }
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(line_width, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.separator)
+            os << std::string(line_width, '-') << "\n";
+        else
+            emit(r.cells);
+    }
+    return os.str();
+}
+
+std::string
+TextTable::cycles(double c)
+{
+    char buf[64];
+    if (c >= 1e7) {
+        std::snprintf(buf, sizeof buf, "%.1fM", c / 1e6);
+    } else if (c >= 1e4) {
+        std::snprintf(buf, sizeof buf, "%.2fM", c / 1e6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.0f", c);
+    }
+    return buf;
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace vvsp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * paper-style tables (Table 1, Table 2, figure series).
+ */
+
+#ifndef VVSP_SUPPORT_TABLE_HH
+#define VVSP_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vvsp
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns. The first row added with header() is underlined.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a separator line (rendered as dashes). */
+    void separator();
+
+    /** Render the table; every column width is max cell width + 2. */
+    std::string str() const;
+
+    /**
+     * Format a cycle count the way the paper does: "815.7M" for
+     * millions, "0.59M" etc. Values below 10,000 are printed raw.
+     */
+    static std::string cycles(double c);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SUPPORT_TABLE_HH

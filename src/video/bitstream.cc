@@ -1,0 +1,31 @@
+#include "video/bitstream.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+void
+BitWriter::put(uint32_t value, int bits)
+{
+    vvsp_assert(bits >= 0 && bits <= 32, "bad bit count %d", bits);
+    bit_count_ += static_cast<uint64_t>(bits);
+    for (int i = bits - 1; i >= 0; --i) {
+        pending_ = static_cast<uint16_t>((pending_ << 1) |
+                                         ((value >> i) & 1u));
+        if (++pending_bits_ == 16) {
+            words_.push_back(pending_);
+            pending_ = 0;
+            pending_bits_ = 0;
+        }
+    }
+}
+
+void
+BitWriter::flush()
+{
+    while (pending_bits_ != 0)
+        put(0, 1);
+}
+
+} // namespace vvsp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bit-level writer used by golden references and tests to build and
+ * inspect coded output.
+ */
+
+#ifndef VVSP_VIDEO_BITSTREAM_HH
+#define VVSP_VIDEO_BITSTREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vvsp
+{
+
+/** MSB-first bit accumulator producing 16-bit output words. */
+class BitWriter
+{
+  public:
+    /** Append the low `bits` bits of `value`, MSB first. */
+    void put(uint32_t value, int bits);
+
+    /** Pad with zero bits to a 16-bit word boundary. */
+    void flush();
+
+    /** Completed 16-bit words so far. */
+    const std::vector<uint16_t> &words() const { return words_; }
+
+    /** Total bits written (excluding flush padding). */
+    uint64_t bitCount() const { return bit_count_; }
+
+    /** Bits pending in the partial word. */
+    int pendingBits() const { return pending_bits_; }
+    uint16_t pendingWord() const { return pending_; }
+
+  private:
+    std::vector<uint16_t> words_;
+    uint16_t pending_ = 0;
+    int pending_bits_ = 0;
+    uint64_t bit_count_ = 0;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_VIDEO_BITSTREAM_HH

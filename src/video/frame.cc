@@ -1,0 +1,46 @@
+#include "video/frame.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+Plane::Plane(int width, int height, uint8_t fill)
+    : width_(width), height_(height),
+      pix_(static_cast<size_t>(width) * static_cast<size_t>(height), fill)
+{
+    vvsp_assert(width > 0 && height > 0, "bad plane size %dx%d", width,
+                height);
+}
+
+uint8_t
+Plane::at(int x, int y) const
+{
+    vvsp_assert(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "pixel (%d, %d) outside %dx%d plane", x, y, width_,
+                height_);
+    return pix_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                static_cast<size_t>(x)];
+}
+
+void
+Plane::set(int x, int y, uint8_t v)
+{
+    vvsp_assert(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "pixel (%d, %d) outside %dx%d plane", x, y, width_,
+                height_);
+    pix_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+         static_cast<size_t>(x)] = v;
+}
+
+uint8_t
+Plane::atClamped(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+} // namespace vvsp

@@ -1,0 +1,68 @@
+#include "vlsi/fu_model.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+FunctionalUnitModel::FunctionalUnitModel(const Technology &tech)
+    : tech_(tech)
+{
+}
+
+double
+FunctionalUnitModel::aluDelayNs(bool absDiff) const
+{
+    return tech_.aluDelay + (absDiff ? tech_.absDiffExtraDelay : 0.0);
+}
+
+double
+FunctionalUnitModel::aluAreaMm2(bool absDiff) const
+{
+    return tech_.aluArea + (absDiff ? tech_.absDiffExtraArea : 0.0);
+}
+
+double
+FunctionalUnitModel::mult8DelayNs() const
+{
+    return tech_.mult8Delay;
+}
+
+double
+FunctionalUnitModel::mult8AreaMm2() const
+{
+    return tech_.mult8Area;
+}
+
+double
+FunctionalUnitModel::mult16StageDelayNs() const
+{
+    return tech_.mult16StageDelay;
+}
+
+double
+FunctionalUnitModel::mult16AreaMm2() const
+{
+    return tech_.mult16Area;
+}
+
+double
+FunctionalUnitModel::shifterDelayNs() const
+{
+    return tech_.shifterDelay;
+}
+
+double
+FunctionalUnitModel::shifterAreaMm2() const
+{
+    return tech_.shifterArea;
+}
+
+double
+FunctionalUnitModel::bypassMuxDelayNs(int inputs) const
+{
+    vvsp_assert(inputs >= 1, "bypass mux needs inputs");
+    return tech_.bypassMuxDelayPerInput * inputs;
+}
+
+} // namespace vvsp

@@ -1,0 +1,13 @@
+#include "vlsi/technology.hh"
+
+namespace vvsp
+{
+
+const Technology &
+Technology::um025()
+{
+    static const Technology tech{};
+    return tech;
+}
+
+} // namespace vvsp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Local common-subexpression elimination by value numbering within
+ * each block. Redundant computations are rewritten into Mov from the
+ * first occurrence; copy propagation then dissolves the Movs.
+ */
+
+#include <map>
+#include <sstream>
+
+#include "xform/passes.hh"
+
+namespace vvsp
+{
+namespace passes
+{
+
+namespace
+{
+
+bool
+commutative(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Min:
+      case Opcode::Max:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::AbsDiff:
+      case Opcode::Mul8:
+      case Opcode::MulUU8:
+      case Opcode::Mul16Lo:
+      case Opcode::Mul16Hi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+operandKey(const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::None:
+        return "_";
+      case Operand::Kind::Reg:
+        return "v" + std::to_string(o.reg);
+      case Operand::Kind::Imm:
+        return "#" + std::to_string(static_cast<uint16_t>(o.imm));
+    }
+    return "?";
+}
+
+/** Expressions eligible for value numbering. */
+bool
+eligible(const Operation &op)
+{
+    const OpcodeInfo &inf = op.info();
+    if (!inf.hasDst || inf.isBranch)
+        return false;
+    if (op.op == Opcode::Store || op.op == Opcode::Xfer ||
+        op.op == Opcode::Nop || op.op == Opcode::Mov) {
+        return false;
+    }
+    return true;
+}
+
+std::string
+exprKey(const Operation &op)
+{
+    Operand a = op.src[0], b = op.src[1];
+    if (commutative(op.op)) {
+        std::string ka = operandKey(a), kb = operandKey(b);
+        if (kb < ka)
+            std::swap(a, b);
+    }
+    std::ostringstream os;
+    os << opcodeName(op.op) << ":" << operandKey(a) << ","
+       << operandKey(b) << "," << operandKey(op.src[2]);
+    if (op.info().isMemory)
+        os << "@" << op.buffer << "." << op.aliasToken;
+    return os.str();
+}
+
+void
+cseBlock(BlockNode &block)
+{
+    // expression key -> (holding vreg, is-load, buffer, token)
+    struct Entry
+    {
+        Vreg value;
+        bool isLoad;
+        int buffer;
+        int token;
+    };
+    std::map<std::string, Entry> table;
+    // vreg -> keys referencing it (for invalidation).
+    auto invalidate_reg = [&table](Vreg r) {
+        std::string needle = "v" + std::to_string(r);
+        for (auto it = table.begin(); it != table.end();) {
+            bool refs = it->first.find(needle + ",") !=
+                            std::string::npos ||
+                        it->first.find(needle + "@") !=
+                            std::string::npos ||
+                        (it->first.size() >= needle.size() &&
+                         it->first.compare(it->first.size() -
+                                               needle.size(),
+                                           needle.size(),
+                                           needle) == 0) ||
+                        it->second.value == r;
+            if (refs)
+                it = table.erase(it);
+            else
+                ++it;
+        }
+    };
+
+    for (auto &op : block.ops) {
+        if (op.op == Opcode::Store) {
+            // Kill loads that may alias this store.
+            for (auto it = table.begin(); it != table.end();) {
+                if (it->second.isLoad &&
+                    it->second.buffer == op.buffer &&
+                    it->second.token == op.aliasToken) {
+                    it = table.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            continue;
+        }
+        if (!eligible(op)) {
+            if (op.info().hasDst && op.dst != kNoVreg)
+                invalidate_reg(op.dst);
+            continue;
+        }
+
+        std::string key = exprKey(op);
+        auto it = table.find(key);
+        if (it != table.end() && it->second.value != op.dst) {
+            Vreg value = it->second.value;
+            op.op = Opcode::Mov;
+            op.src = {Operand::ofReg(value), Operand::none(),
+                      Operand::none()};
+            op.buffer = -1;
+            invalidate_reg(op.dst);
+            continue;
+        }
+
+        invalidate_reg(op.dst);
+        if (!op.isPredicated()) {
+            table[key] = Entry{op.dst, op.op == Opcode::Load,
+                               op.buffer, op.aliasToken};
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+localCse(Function &fn)
+{
+    forEachBlock(fn, cseBlock);
+}
+
+} // namespace passes
+} // namespace vvsp

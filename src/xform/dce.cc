@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Dead-code elimination: removes pure operations whose results are
+ * never read, empty blocks, and empty control structures.
+ */
+
+#include "xform/passes.hh"
+
+namespace vvsp
+{
+namespace passes
+{
+
+namespace
+{
+
+bool
+hasSideEffects(const Operation &op)
+{
+    return op.op == Opcode::Store || op.info().isBranch;
+}
+
+bool
+removeDeadOps(Function &fn)
+{
+    auto counts = useCounts(fn);
+    bool changed = false;
+    forEachBlock(fn, [&](BlockNode &block) {
+        auto keep = [&](const Operation &op) {
+            if (op.op == Opcode::Nop)
+                return false;
+            if (hasSideEffects(op))
+                return true;
+            if (!op.info().hasDst)
+                return true;
+            return op.dst < counts.size() && counts[op.dst] > 0;
+        };
+        size_t before = block.ops.size();
+        std::vector<Operation> kept;
+        kept.reserve(block.ops.size());
+        for (auto &op : block.ops) {
+            if (keep(op))
+                kept.push_back(op);
+        }
+        if (kept.size() != before) {
+            block.ops = std::move(kept);
+            changed = true;
+        }
+    });
+    return changed;
+}
+
+bool
+pruneEmptyNodes(NodeList &list)
+{
+    bool changed = false;
+    for (size_t i = 0; i < list.size();) {
+        Node &n = *list[i];
+        bool erase = false;
+        switch (n.kind()) {
+          case NodeKind::Block:
+            erase = static_cast<BlockNode &>(n).ops.empty();
+            break;
+          case NodeKind::Loop: {
+            auto &loop = static_cast<LoopNode &>(n);
+            changed |= pruneEmptyNodes(loop.body);
+            // Only counted loops can be dropped when empty; an empty
+            // dynamic loop would spin forever and is a kernel bug the
+            // verifier reports instead.
+            erase = loop.body.empty() && loop.tripCount >= 0;
+            break;
+          }
+          case NodeKind::If: {
+            auto &iff = static_cast<IfNode &>(n);
+            changed |= pruneEmptyNodes(iff.thenBody);
+            changed |= pruneEmptyNodes(iff.elseBody);
+            erase = iff.thenBody.empty() && iff.elseBody.empty();
+            break;
+          }
+          case NodeKind::Break:
+            break;
+        }
+        if (erase) {
+            list.erase(list.begin() + static_cast<long>(i));
+            changed = true;
+        } else {
+            ++i;
+        }
+    }
+    return changed;
+}
+
+} // anonymous namespace
+
+void
+deadCodeElim(Function &fn)
+{
+    // Removing an op can make its producers dead; iterate.
+    while (removeDeadOps(fn) || pruneEmptyNodes(fn.body)) {
+    }
+}
+
+} // namespace passes
+} // namespace vvsp

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Loop-invariant code motion. Pure operations (including loads from
+ * buffers that no store in the loop touches) whose operands are not
+ * produced inside the loop are hoisted into a preheader block.
+ *
+ * Safety: only unpredicated operations that sit in a block directly
+ * in the loop body (executed unconditionally each iteration) and
+ * whose destination has a single static definition in the whole
+ * function are moved.
+ */
+
+#include <map>
+#include <set>
+
+#include "xform/passes.hh"
+
+namespace vvsp
+{
+namespace passes
+{
+
+namespace
+{
+
+/** Vregs with more than one static definition. */
+std::set<Vreg>
+multiDefRegs(const Function &fn)
+{
+    std::set<Vreg> seen, multi;
+    forEachNode(fn.body, [&](const Node &n) {
+        if (n.kind() == NodeKind::Block) {
+            for (const auto &op : static_cast<const BlockNode &>(n).ops) {
+                if (op.info().hasDst && op.dst != kNoVreg) {
+                    if (!seen.insert(op.dst).second)
+                        multi.insert(op.dst);
+                }
+            }
+        } else if (n.kind() == NodeKind::Loop) {
+            const auto &loop = static_cast<const LoopNode &>(n);
+            if (loop.inductionVar != kNoVreg) {
+                if (!seen.insert(loop.inductionVar).second)
+                    multi.insert(loop.inductionVar);
+            }
+        }
+    });
+    return multi;
+}
+
+struct LoopFacts
+{
+    std::set<Vreg> defined;      ///< regs written anywhere in the loop.
+    std::set<int> storedBuffers; ///< buffers stored anywhere in it.
+};
+
+LoopFacts
+collectFacts(const LoopNode &loop)
+{
+    LoopFacts f;
+    if (loop.inductionVar != kNoVreg)
+        f.defined.insert(loop.inductionVar);
+    forEachNode(loop.body, [&f](const Node &n) {
+        if (n.kind() == NodeKind::Block) {
+            for (const auto &op : static_cast<const BlockNode &>(n).ops) {
+                if (op.info().hasDst && op.dst != kNoVreg)
+                    f.defined.insert(op.dst);
+                if (op.op == Opcode::Store)
+                    f.storedBuffers.insert(op.buffer);
+            }
+        } else if (n.kind() == NodeKind::Loop) {
+            const auto &inner = static_cast<const LoopNode &>(n);
+            if (inner.inductionVar != kNoVreg)
+                f.defined.insert(inner.inductionVar);
+        }
+    });
+    return f;
+}
+
+class Hoister
+{
+  public:
+    Hoister(Function &fn, int max_loads)
+        : fn_(fn), multi_def_(multiDefRegs(fn)), max_loads_(max_loads)
+    {
+    }
+
+    bool
+    run()
+    {
+        changed_ = false;
+        walkList(fn_.body);
+        return changed_;
+    }
+
+  private:
+    bool
+    hoistable(const Operation &op, const LoopFacts &facts,
+              int loads_hoisted) const
+    {
+        const OpcodeInfo &inf = op.info();
+        if (!inf.hasDst || inf.isBranch || op.op == Opcode::Nop ||
+            op.op == Opcode::Store || op.op == Opcode::Xfer) {
+            return false;
+        }
+        if (op.isPredicated())
+            return false;
+        if (multi_def_.count(op.dst))
+            return false;
+        if (op.op == Opcode::Load &&
+            (facts.storedBuffers.count(op.buffer) ||
+             loads_hoisted >= max_loads_)) {
+            return false;
+        }
+        for (const auto &s : op.src) {
+            if (s.isReg() && facts.defined.count(s.reg))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    processLoop(NodeList &parent, size_t idx)
+    {
+        auto &loop = static_cast<LoopNode &>(*parent[idx]);
+        LoopFacts facts = collectFacts(loop);
+
+        std::vector<Operation> hoisted;
+        // The budget persists across fixpoint rounds.
+        int &loads_hoisted = loads_hoisted_[loop.id];
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (auto &child : loop.body) {
+                if (child->kind() != NodeKind::Block)
+                    continue;
+                auto &block = static_cast<BlockNode &>(*child);
+                std::vector<Operation> kept;
+                kept.reserve(block.ops.size());
+                for (auto &op : block.ops) {
+                    if (hoistable(op, facts, loads_hoisted)) {
+                        facts.defined.erase(op.dst);
+                        if (op.op == Opcode::Load)
+                            loads_hoisted++;
+                        hoisted.push_back(op);
+                        progress = true;
+                    } else {
+                        kept.push_back(op);
+                    }
+                }
+                block.ops = std::move(kept);
+            }
+        }
+
+        if (!hoisted.empty()) {
+            auto pre = std::make_unique<BlockNode>();
+            pre->id = fn_.newNodeId();
+            pre->label = loop.label + ".preheader";
+            pre->ops = std::move(hoisted);
+            parent.insert(parent.begin() + static_cast<long>(idx),
+                          std::move(pre));
+            changed_ = true;
+        }
+    }
+
+    void
+    walkList(NodeList &list)
+    {
+        for (size_t i = 0; i < list.size(); ++i) {
+            Node &n = *list[i];
+            switch (n.kind()) {
+              case NodeKind::Loop: {
+                size_t before = list.size();
+                processLoop(list, i);
+                if (list.size() != before)
+                    ++i; // skip over the inserted preheader.
+                walkList(static_cast<LoopNode &>(*list[i]).body);
+                break;
+              }
+              case NodeKind::If: {
+                auto &iff = static_cast<IfNode &>(n);
+                walkList(iff.thenBody);
+                walkList(iff.elseBody);
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    Function &fn_;
+    std::set<Vreg> multi_def_;
+    int max_loads_ = 8;
+    std::map<int, int> loads_hoisted_; // per loop node id.
+    bool changed_ = false;
+};
+
+} // anonymous namespace
+
+void
+licm(Function &fn, int max_loads)
+{
+    // Hoisting can expose further invariants in enclosing loops; one
+    // Hoister persists so the per-loop load budget holds overall.
+    Hoister hoister(fn, max_loads);
+    for (int round = 0; round < 4; ++round) {
+        if (!hoister.run())
+            break;
+    }
+}
+
+} // namespace passes
+} // namespace vvsp

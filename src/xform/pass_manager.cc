@@ -1,0 +1,118 @@
+#include "xform/passes.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+namespace passes
+{
+
+void
+forEachBlock(Function &fn, const std::function<void(BlockNode &)> &f)
+{
+    forEachNode(fn.body, [&f](Node &n) {
+        if (n.kind() == NodeKind::Block)
+            f(static_cast<BlockNode &>(n));
+    });
+}
+
+std::vector<uint32_t>
+useCounts(const Function &fn)
+{
+    std::vector<uint32_t> counts(fn.numVregs(), 0);
+    auto count = [&counts](const Operand &o) {
+        if (o.isReg() && o.reg < counts.size())
+            counts[o.reg]++;
+    };
+    forEachNode(fn.body, [&](const Node &n) {
+        switch (n.kind()) {
+          case NodeKind::Block:
+            for (const auto &op : static_cast<const BlockNode &>(n).ops) {
+                for (const auto &s : op.src)
+                    count(s);
+                count(op.pred);
+            }
+            break;
+          case NodeKind::If:
+            count(static_cast<const IfNode &>(n).cond);
+            break;
+          case NodeKind::Break:
+            count(static_cast<const BreakNode &>(n).cond);
+            break;
+          case NodeKind::Loop: {
+            const auto &loop = static_cast<const LoopNode &>(n);
+            count(loop.ivInit);
+            if (loop.boundVreg != kNoVreg)
+                count(Operand::ofReg(loop.boundVreg));
+            break;
+          }
+          default:
+            break;
+        }
+    });
+    return counts;
+}
+
+namespace
+{
+
+LoopNode *
+findLoopIn(NodeList &list, const std::string &label)
+{
+    for (auto &n : list) {
+        if (n->kind() == NodeKind::Loop) {
+            auto &loop = static_cast<LoopNode &>(*n);
+            if (loop.label == label)
+                return &loop;
+            if (LoopNode *inner = findLoopIn(loop.body, label))
+                return inner;
+        } else if (n->kind() == NodeKind::If) {
+            auto &iff = static_cast<IfNode &>(*n);
+            if (LoopNode *inner = findLoopIn(iff.thenBody, label))
+                return inner;
+            if (LoopNode *inner = findLoopIn(iff.elseBody, label))
+                return inner;
+        }
+    }
+    return nullptr;
+}
+
+} // anonymous namespace
+
+LoopNode *
+findLoop(Function &fn, const std::string &label)
+{
+    return findLoopIn(fn.body, label);
+}
+
+LoopNode *
+innermostLoop(Function &fn)
+{
+    LoopNode *found = nullptr;
+    std::function<void(NodeList &)> walk = [&](NodeList &list) {
+        for (auto &n : list) {
+            if (n->kind() == NodeKind::Loop) {
+                auto &loop = static_cast<LoopNode &>(*n);
+                found = &loop;
+                walk(loop.body);
+            }
+        }
+    };
+    walk(fn.body);
+    return found;
+}
+
+void
+cleanup(Function &fn)
+{
+    // Each constituent pass is idempotent once nothing changes; a few
+    // rounds reach the fixed point on kernel-sized functions.
+    for (int round = 0; round < 4; ++round) {
+        constFold(fn);
+        localCse(fn);
+        deadCodeElim(fn);
+    }
+}
+
+} // namespace passes
+} // namespace vvsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Strength reduction: multiplies by powers of two (and their
+ * negations) become shifts, offloading the scarce multiplier.
+ * Only Mul16Lo has clean full-width semantics, so only it is reduced;
+ * two-term decompositions are left to the multiply-decomposition
+ * lowering, which knows the target's multiplier shape.
+ */
+
+#include "xform/passes.hh"
+
+namespace vvsp
+{
+namespace passes
+{
+
+namespace
+{
+
+/** log2 of v when v is a power of two in [1, 2^15], else -1. */
+int
+log2Exact(uint16_t v)
+{
+    for (int k = 0; k < 16; ++k) {
+        if (v == (1u << k))
+            return k;
+    }
+    return -1;
+}
+
+void
+reduceBlock(Function &fn, BlockNode &block)
+{
+    std::vector<Operation> out;
+    out.reserve(block.ops.size());
+    for (auto &op : block.ops) {
+        if (op.op != Opcode::Mul16Lo) {
+            out.push_back(op);
+            continue;
+        }
+        Operand x = op.src[0], c = op.src[1];
+        if (x.isImm() && c.isReg())
+            std::swap(x, c);
+        if (!c.isImm()) {
+            out.push_back(op);
+            continue;
+        }
+        uint16_t cv = static_cast<uint16_t>(c.imm);
+        int k = log2Exact(cv);
+        int kneg = log2Exact(static_cast<uint16_t>(-cv));
+        if (k >= 0) {
+            Operation shl = op;
+            shl.op = Opcode::Shl;
+            shl.src = {x, Operand::ofImm(k), Operand::none()};
+            shl.id = fn.newOpId();
+            out.push_back(shl);
+        } else if (kneg >= 0) {
+            Operation shl = op;
+            shl.op = Opcode::Shl;
+            shl.dst = fn.newVreg();
+            shl.src = {x, Operand::ofImm(kneg), Operand::none()};
+            shl.id = fn.newOpId();
+            Operation neg = op;
+            neg.op = Opcode::Neg;
+            neg.src = {Operand::ofReg(shl.dst), Operand::none(),
+                       Operand::none()};
+            neg.id = fn.newOpId();
+            out.push_back(shl);
+            out.push_back(neg);
+        } else {
+            out.push_back(op);
+        }
+    }
+    block.ops = std::move(out);
+}
+
+} // anonymous namespace
+
+void
+strengthReduce(Function &fn)
+{
+    forEachBlock(fn, [&fn](BlockNode &b) { reduceBlock(fn, b); });
+}
+
+} // namespace passes
+} // namespace vvsp

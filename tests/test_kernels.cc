@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Kernel integration tests: every Table 1/2 variant's transformed
+ * and machine-lowered code must reproduce its golden reference
+ * bit-exactly under the functional interpreter, on several workload
+ * units, for representative datapath models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "core/experiment.hh"
+#include "ir/verifier.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+struct KernelCase
+{
+    const char *kernel;
+    const char *variant;
+    const char *model;
+    int units;
+};
+
+class KernelGolden : public ::testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(KernelGolden, MatchesGoldenReference)
+{
+    const KernelCase &t = GetParam();
+    ExperimentRequest req;
+    const KernelSpec &k = kernelByName(t.kernel);
+    req.kernel = &k;
+    req.variant = &k.variant(t.variant);
+    req.model = models::byName(t.model);
+    req.geometry = FrameGeometry{48, 32};
+    req.profileUnits = t.units;
+    ExperimentResult r = runExperiment(req);
+    EXPECT_TRUE(r.checked);
+    EXPECT_TRUE(r.passed) << r.note;
+    EXPECT_GT(r.cyclesPerUnit, 0);
+    EXPECT_GT(r.cyclesPerFrame, 0);
+}
+
+std::vector<KernelCase>
+fullSearchCases()
+{
+    std::vector<KernelCase> cases;
+    const char *variants[] = {"Sequential-predicated",
+                              "Unrolled Inner Loop",
+                              "SW pipelined & unrolled",
+                              "SW pipelined & unrolled 2 lev.",
+                              "Add spec. op (SW pipelined)",
+                              "Blocking/Loop Exchange",
+                              "Add spec. op (blocked)"};
+    for (const char *v : variants) {
+        for (const char *m : {"I4C8S4", "I4C8S4C", "I2C16S5"})
+            cases.push_back({"Full Motion Search", v, m, 2});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(FullSearch, KernelGolden,
+                         ::testing::ValuesIn(fullSearchCases()));
+
+std::vector<KernelCase>
+threeStepCases()
+{
+    std::vector<KernelCase> cases;
+    const char *variants[] = {"Sequential-predicated",
+                              "Unrolled Inner Loop",
+                              "SW pipelined & unrolled",
+                              "Add spec. op (SW pipelined)"};
+    for (const char *v : variants) {
+        for (const char *m : {"I4C8S4", "I2C16S4"})
+            cases.push_back({"Three-step Search", v, m, 3});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeStep, KernelGolden,
+                         ::testing::ValuesIn(threeStepCases()));
+
+std::vector<KernelCase>
+dctCases()
+{
+    std::vector<KernelCase> cases;
+    const char *variants[] = {"Sequential-unoptimized",
+                              "Unrolled inner loop", "List Scheduled",
+                              "SW pipelined & predicated",
+                              "+arithmetic optimization"};
+    for (const char *k : {"DCT - traditional", "DCT - row/column"}) {
+        for (const char *v : variants) {
+            for (const char *m : {"I4C8S4", "I4C8S5M16"})
+                cases.push_back({k, v, m, 3});
+        }
+        // The ganged variant is expensive; one model each.
+        cases.push_back({k, "+unroll 2 levels & widen", "I4C8S4", 2});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dct, KernelGolden,
+                         ::testing::ValuesIn(dctCases()));
+
+std::vector<KernelCase>
+cscCases()
+{
+    std::vector<KernelCase> cases;
+    const char *variants[] = {"Sequential", "Sequential-unrolled",
+                              "List-scheduled",
+                              "SW Pipelined & predicated"};
+    for (const char *v : variants) {
+        for (const char *m : {"I4C8S4", "I4C8S4C", "I2C16S4"})
+            cases.push_back(
+                {"RGB:YCrCb converter/subsampler", v, m, 3});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(ColorConvert, KernelGolden,
+                         ::testing::ValuesIn(cscCases()));
+
+std::vector<KernelCase>
+vbrCases()
+{
+    std::vector<KernelCase> cases;
+    const char *variants[] = {"Sequential", "Sequential-predicated",
+                              "List-scheduled",
+                              "List-scheduled-predicated",
+                              "SW pipelined + comp. pred.",
+                              "+phase pipelining"};
+    for (const char *v : variants) {
+        for (const char *m : {"I4C8S4", "I2C16S5"})
+            // Data-dependent: check a spread of coefficient blocks.
+            cases.push_back({"Variable-Bit-Rate Coder", v, m, 8});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Vbr, KernelGolden,
+                         ::testing::ValuesIn(vbrCases()));
+
+// ---- structural sanity across the whole registry ---------------------
+
+TEST(Kernels, RegistryComplete)
+{
+    const auto &all = allKernels();
+    ASSERT_EQ(all.size(), 6u);
+    for (const auto &k : all) {
+        EXPECT_FALSE(k.variants.empty()) << k.name;
+        EXPECT_FALSE(k.outputBuffers.empty()) << k.name;
+        EXPECT_GT(k.unitsPerFrame(FrameGeometry::ccir601()), 0)
+            << k.name;
+    }
+}
+
+TEST(Kernels, UnitsPerFrameMatchPaperGeometry)
+{
+    auto g = FrameGeometry::ccir601();
+    EXPECT_EQ(kernelByName("Full Motion Search").unitsPerFrame(g),
+              1350);
+    EXPECT_EQ(kernelByName("DCT - traditional").unitsPerFrame(g),
+              8100);
+    EXPECT_EQ(kernelByName("Variable-Bit-Rate Coder").unitsPerFrame(g),
+              8100);
+}
+
+TEST(Kernels, EveryVariantBuildsVerifiableIr)
+{
+    for (const auto &k : allKernels()) {
+        for (const auto &v : k.variants) {
+            Function fn = v.build();
+            EXPECT_TRUE(verify(fn).empty())
+                << k.name << " / " << v.name;
+        }
+    }
+}
+
+TEST(Kernels, LocalMemoryFitsEveryTable1Model)
+{
+    // The working set must fit in cluster memory on every model the
+    // variant targets (the paper: working sets never exceeded 4KB).
+    for (const auto &k : allKernels()) {
+        const auto &v = k.variants.front();
+        Function fn = v.build();
+        int words = 0;
+        for (const auto &b : fn.buffers)
+            words += b.sizeWords;
+        EXPECT_LE(words, 8 * 1024)
+            << k.name << " uses " << words << " words";
+    }
+}
+
+} // namespace
+} // namespace vvsp

@@ -1,0 +1,225 @@
+/** @file Datapath-model and MachineModel tests (Sec. 3.2 configs). */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine_model.hh"
+#include "arch/models.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+TEST(Models, Table1ColumnOrder)
+{
+    auto ms = models::table1Models();
+    ASSERT_EQ(ms.size(), 5u);
+    EXPECT_EQ(ms[0].name, "I4C8S4");
+    EXPECT_EQ(ms[1].name, "I4C8S4C");
+    EXPECT_EQ(ms[2].name, "I4C8S5");
+    EXPECT_EQ(ms[3].name, "I2C16S4");
+    EXPECT_EQ(ms[4].name, "I2C16S5");
+}
+
+TEST(Models, Table2ColumnOrder)
+{
+    auto ms = models::table2Models();
+    ASSERT_EQ(ms.size(), 5u);
+    EXPECT_EQ(ms[2].name, "I4C8S5M16");
+    EXPECT_EQ(ms[4].name, "I2C16S5M16");
+}
+
+TEST(Models, InitialModelMatchesSection32)
+{
+    auto cfg = models::i4c8s4();
+    // "a datapath with 8 clusters ... each capable of issuing 4
+    // operations per cycle for a total of 32 operations per cycle".
+    EXPECT_EQ(cfg.clusters, 8);
+    EXPECT_EQ(cfg.cluster.issueSlots, 4);
+    EXPECT_EQ(cfg.totalIssueSlots(), 32);
+    // "a single 12-ported register file ... 128 registers/cluster".
+    EXPECT_EQ(cfg.cluster.regFilePorts, 12);
+    EXPECT_EQ(cfg.cluster.registers, 128);
+    // "4 ALUs, one multiplier, one shifter, and one load/store unit".
+    EXPECT_EQ(cfg.cluster.numAlus, 4);
+    EXPECT_EQ(cfg.cluster.numMultipliers, 1);
+    EXPECT_EQ(cfg.cluster.numShifters, 1);
+    EXPECT_EQ(cfg.cluster.numLoadStoreUnits, 1);
+    // "32KB of single-ported local data RAM", "full 32x32 crossbar",
+    // "a 1K instruction on-chip cache", 4-stage pipeline.
+    EXPECT_EQ(cfg.cluster.localMemBytes, 32 * 1024);
+    EXPECT_EQ(cfg.crossbarPorts(), 32);
+    EXPECT_EQ(cfg.icacheInstructions, 1024);
+    EXPECT_EQ(cfg.pipelineStages, 4);
+    EXPECT_EQ(cfg.loadUseDelay(), 0);
+}
+
+TEST(Models, SixteenClusterModelMatchesSection32)
+{
+    auto cfg = models::i2c16s4();
+    EXPECT_EQ(cfg.clusters, 16);
+    EXPECT_EQ(cfg.cluster.issueSlots, 2);
+    // "a smaller 6-ported, 64-entry register file".
+    EXPECT_EQ(cfg.cluster.regFilePorts, 6);
+    EXPECT_EQ(cfg.cluster.registers, 64);
+    // "two separate 8KB data memories", pipelined multiplier,
+    // "only 1 port to a 16x16 switch", 512-instruction cache.
+    EXPECT_EQ(cfg.cluster.memBanks, 2);
+    EXPECT_EQ(cfg.cluster.localMemBytes, 16 * 1024);
+    EXPECT_EQ(cfg.multiplyStages, 2);
+    EXPECT_EQ(cfg.crossbarPorts(), 16);
+    EXPECT_EQ(cfg.icacheInstructions, 512);
+}
+
+TEST(Models, FiveStageModelsHaveLoadUseDelay)
+{
+    EXPECT_EQ(models::i4c8s5().loadUseDelay(), 1);
+    EXPECT_EQ(models::i2c16s5().loadUseDelay(), 1);
+    EXPECT_EQ(models::i4c8s4().loadUseDelay(), 0);
+}
+
+TEST(Models, TotalLoadStoreUnits)
+{
+    // Sec. 3.4.1: "the total number of load/store units is doubled
+    // in the I2C16S5 model and quadrupled in the I2C16S4 model".
+    auto base = models::i4c8s4();
+    auto s5 = models::i2c16s5();
+    auto s4 = models::i2c16s4();
+    int base_total = base.clusters * base.cluster.numLoadStoreUnits;
+    EXPECT_EQ(s5.clusters * s5.cluster.numLoadStoreUnits,
+              2 * base_total);
+    EXPECT_EQ(s4.clusters * s4.cluster.numLoadStoreUnits,
+              4 * base_total);
+}
+
+TEST(Models, ValidationRejectsBadConfigs)
+{
+    auto cfg = models::i4c8s4();
+    cfg.cluster.regFilePorts = 6; // too few for 4 slots.
+    EXPECT_DEATH(cfg.validate(), "register-file ports");
+}
+
+TEST(MachineModel, SlotCapabilitiesI4)
+{
+    MachineModel m(models::i4c8s4());
+    const auto &caps = m.slotCaps();
+    ASSERT_EQ(caps.size(), 4u);
+    EXPECT_TRUE(caps[0].mult);
+    EXPECT_TRUE(caps[1].shift);
+    EXPECT_EQ(caps[2].memBank, -2);
+    EXPECT_EQ(caps[3].memBank, -1);
+    for (const auto &c : caps)
+        EXPECT_TRUE(c.alu);
+}
+
+TEST(MachineModel, SlotCapabilitiesI2)
+{
+    MachineModel m(models::i2c16s4());
+    const auto &caps = m.slotCaps();
+    ASSERT_EQ(caps.size(), 2u);
+    // "Each issue slot can support either an ALU operation or a
+    // load/store operation to a specific one of the local memories.
+    // One of the issue slots can alternatively perform a multiply
+    // and the other can perform a shift."
+    EXPECT_TRUE(caps[0].mult);
+    EXPECT_EQ(caps[0].memBank, 0);
+    EXPECT_TRUE(caps[1].shift);
+    EXPECT_EQ(caps[1].memBank, 1);
+}
+
+TEST(MachineModel, AddressingComponents)
+{
+    Operation ld;
+    ld.op = Opcode::Load;
+    ld.buffer = 0;
+    ld.src = {Operand::ofImm(5), Operand::none(), Operand::none()};
+    EXPECT_EQ(MachineModel::addressComponents(ld), 0); // direct.
+    ld.src[0] = Operand::ofReg(1);
+    EXPECT_EQ(MachineModel::addressComponents(ld), 1); // reg.
+    ld.src[1] = Operand::ofImm(0);
+    EXPECT_EQ(MachineModel::addressComponents(ld), 1); // reg + #0.
+    ld.src[1] = Operand::ofImm(4);
+    EXPECT_EQ(MachineModel::addressComponents(ld), 2); // base+disp.
+    ld.src[1] = Operand::ofReg(2);
+    EXPECT_EQ(MachineModel::addressComponents(ld), 2); // indexed.
+}
+
+TEST(MachineModel, AddressingLegality)
+{
+    MachineModel simple(models::i4c8s4());
+    MachineModel complex_m(models::i4c8s5());
+    Operation ld;
+    ld.op = Opcode::Load;
+    ld.buffer = 0;
+    ld.src = {Operand::ofReg(1), Operand::ofReg(2), Operand::none()};
+    EXPECT_FALSE(simple.addressingLegal(ld));
+    EXPECT_TRUE(complex_m.addressingLegal(ld));
+}
+
+TEST(MachineModel, CanExecuteSpecialOps)
+{
+    MachineModel base(models::i4c8s4());
+    MachineModel with_ad(models::withAbsDiff(models::i4c8s4()));
+    MachineModel m16(models::i4c8s5m16());
+    Operation ad;
+    ad.op = Opcode::AbsDiff;
+    ad.dst = 1;
+    ad.src = {Operand::ofReg(2), Operand::ofReg(3), Operand::none()};
+    EXPECT_FALSE(base.canExecute(ad));
+    EXPECT_TRUE(with_ad.canExecute(ad));
+    Operation m;
+    m.op = Opcode::Mul16Lo;
+    m.dst = 1;
+    m.src = {Operand::ofReg(2), Operand::ofReg(3), Operand::none()};
+    EXPECT_FALSE(base.canExecute(m));
+    EXPECT_TRUE(m16.canExecute(m));
+}
+
+TEST(MachineModel, Latencies)
+{
+    MachineModel s4(models::i4c8s4());
+    MachineModel s5(models::i4c8s5());
+    MachineModel m16(models::i4c8s5m16());
+    Operation ld;
+    ld.op = Opcode::Load;
+    ld.buffer = 0;
+    ld.dst = 1;
+    ld.src = {Operand::ofImm(0), Operand::none(), Operand::none()};
+    EXPECT_EQ(s4.latency(ld), 1);
+    EXPECT_EQ(s5.latency(ld), 2); // 1-cycle load-use delay.
+    Operation mul;
+    mul.op = Opcode::Mul16Lo;
+    mul.dst = 1;
+    mul.src = {Operand::ofImm(0), Operand::ofImm(0), Operand::none()};
+    EXPECT_EQ(m16.latency(mul), 2); // 2-stage multiplier.
+    Operation mul8;
+    mul8.op = Opcode::Mul8;
+    mul8.dst = 1;
+    mul8.src = {Operand::ofImm(0), Operand::ofImm(0),
+                Operand::none()};
+    EXPECT_EQ(s4.latency(mul8), 1);
+    MachineModel i2(models::i2c16s4());
+    EXPECT_EQ(i2.latency(mul8), 2); // pipelined even at 8 bits.
+}
+
+TEST(MachineModel, DualLoadStoreAblation)
+{
+    auto cfg = models::withDualLoadStore(models::i4c8s4());
+    MachineModel m(cfg);
+    EXPECT_EQ(cfg.cluster.numLoadStoreUnits, 2);
+    int lsus = 0;
+    for (const auto &c : m.slotCaps())
+        lsus += c.memBank != -1 ? 1 : 0;
+    EXPECT_EQ(lsus, 2);
+}
+
+TEST(MachineModel, MemWordsPerBank)
+{
+    MachineModel i4(models::i4c8s4());
+    EXPECT_EQ(i4.memWordsPerBank(), 16 * 1024); // 32KB / 2B.
+    MachineModel i2(models::i2c16s4());
+    EXPECT_EQ(i2.memWordsPerBank(), 4 * 1024); // 8KB bank / 2B.
+}
+
+} // namespace
+} // namespace vvsp

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Scheduler tests: reservation-table slot binding, list-scheduling
+ * invariants (dependences, width-1, delay slots), and modulo-
+ * scheduling properties (II bounds, resource and timing legality).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "ir/builder.hh"
+#include "sched/list_scheduler.hh"
+#include "sched/modulo_scheduler.hh"
+#include "sched/reg_pressure.hh"
+#include "sched/reservation_table.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+Operand
+R(Vreg v)
+{
+    return Operand::ofReg(v);
+}
+
+Operand
+K(int32_t v)
+{
+    return Operand::ofImm(v);
+}
+
+Operation
+mk(Opcode op, Vreg dst, Operand a = Operand::none(),
+   Operand b = Operand::none())
+{
+    Operation o;
+    o.op = op;
+    o.dst = dst;
+    o.src = {a, b, Operand::none()};
+    return o;
+}
+
+Operation
+mkLoad(Vreg dst, int buffer, Operand addr)
+{
+    Operation o = mk(Opcode::Load, dst, addr);
+    o.buffer = buffer;
+    return o;
+}
+
+BankOfFn
+bankZero()
+{
+    return [](int) { return 0; };
+}
+
+/** Check all distance-0 dependence latencies in a schedule. */
+void
+expectLegal(const std::vector<Operation> &ops, const BlockSchedule &s,
+            const MachineModel &machine)
+{
+    DependenceGraph ddg(ops, machine.latencyFn(), s.ii > 0);
+    int ii = s.ii > 0 ? s.ii : 1 << 20;
+    for (const auto &e : ddg.edges()) {
+        int tf = s.placed[static_cast<size_t>(e.from)].cycle;
+        int tt = s.placed[static_cast<size_t>(e.to)].cycle;
+        EXPECT_GE(tt + ii * e.distance, tf + e.latency)
+            << "edge " << e.from << "->" << e.to;
+    }
+}
+
+// ---- reservation table -------------------------------------------------
+
+TEST(ReservationTable, OneMemoryOpPerCycleOnI4Clusters)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero());
+    Operation l1 = mkLoad(1, 0, K(0));
+    Operation l2 = mkLoad(2, 0, K(1));
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(l1, 0, &slot));
+    EXPECT_FALSE(t.tryReserve(l2, 0, &slot)); // single LSU.
+    EXPECT_TRUE(t.tryReserve(l2, 1, &slot));
+}
+
+TEST(ReservationTable, BankBindingOnI2Clusters)
+{
+    MachineModel machine(models::i2c16s4());
+    // Bank 0 and bank 1 loads can coissue; two bank-0 loads cannot.
+    BankOfFn bank_of = [](int buffer) { return buffer; };
+    ReservationTable t(machine, 0, bank_of);
+    Operation a = mkLoad(1, 0, K(0));
+    Operation b = mkLoad(2, 1, K(0));
+    Operation c = mkLoad(3, 0, K(1));
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(a, 0, &slot));
+    EXPECT_TRUE(t.tryReserve(b, 0, &slot));
+    EXPECT_FALSE(t.tryReserve(c, 0, &slot));
+}
+
+TEST(ReservationTable, FourOpsPerI4Cluster)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero());
+    int slot = -1;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(t.tryReserve(mk(Opcode::Add, 1, K(0), K(0)), 0,
+                                 &slot));
+    }
+    EXPECT_FALSE(
+        t.tryReserve(mk(Opcode::Add, 1, K(0), K(0)), 0, &slot));
+}
+
+TEST(ReservationTable, OneMultiplierOneShifter)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero());
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(mk(Opcode::Mul8, 1, K(0), K(0)), 0,
+                             &slot));
+    EXPECT_FALSE(t.tryReserve(mk(Opcode::Mul8, 2, K(0), K(0)), 0,
+                              &slot));
+    EXPECT_TRUE(t.tryReserve(mk(Opcode::Shl, 3, K(0), K(0)), 0,
+                             &slot));
+    EXPECT_FALSE(t.tryReserve(mk(Opcode::Shl, 4, K(0), K(0)), 0,
+                              &slot));
+}
+
+TEST(ReservationTable, Width1ModeSerializesEverything)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero(), /*width1=*/true);
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(mk(Opcode::Add, 1, K(0), K(0)), 0,
+                             &slot));
+    EXPECT_FALSE(
+        t.tryReserve(mk(Opcode::Sub, 2, K(0), K(0)), 0, &slot));
+}
+
+TEST(ReservationTable, SingleGlobalBranchSlot)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero());
+    Operation br = mk(Opcode::Br, kNoVreg);
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(br, 0, &slot));
+    EXPECT_EQ(slot, -1); // control slot.
+    EXPECT_FALSE(t.tryReserve(br, 0, &slot));
+}
+
+TEST(ReservationTable, CrossbarPortLimits)
+{
+    MachineModel machine(models::i2c16s4()); // 1 port per cluster.
+    ReservationTable t(machine, 0, bankZero());
+    Operation x1 = mk(Opcode::Xfer, 1, R(9));
+    x1.cluster = 0;
+    x1.dstCluster = 1;
+    Operation x2 = mk(Opcode::Xfer, 2, R(8));
+    x2.cluster = 0;
+    x2.dstCluster = 2;
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(x1, 0, &slot));
+    EXPECT_FALSE(t.tryReserve(x2, 0, &slot)); // send port busy.
+    // A transfer from another cluster INTO cluster 1 is fine...
+    Operation x3 = mk(Opcode::Xfer, 3, R(7));
+    x3.cluster = 2;
+    x3.dstCluster = 3;
+    EXPECT_TRUE(t.tryReserve(x3, 0, &slot));
+    // ...but a second arrival at cluster 1 is not.
+    Operation x4 = mk(Opcode::Xfer, 4, R(6));
+    x4.cluster = 3;
+    x4.dstCluster = 1;
+    EXPECT_FALSE(t.tryReserve(x4, 0, &slot));
+}
+
+TEST(ReservationTable, ReleaseFreesResources)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, 0, bankZero());
+    Operation mul = mk(Opcode::Mul8, 1, K(0), K(0));
+    int slot = -1;
+    ASSERT_TRUE(t.tryReserve(mul, 0, &slot));
+    t.release(mul, 0, slot);
+    EXPECT_TRUE(t.tryReserve(mul, 0, &slot));
+}
+
+TEST(ReservationTable, ModuloWrapsRows)
+{
+    MachineModel machine(models::i4c8s4());
+    ReservationTable t(machine, /*ii=*/2, bankZero());
+    Operation l1 = mkLoad(1, 0, K(0));
+    Operation l2 = mkLoad(2, 0, K(1));
+    int slot = -1;
+    EXPECT_TRUE(t.tryReserve(l1, 0, &slot));
+    EXPECT_FALSE(t.tryReserve(l2, 2, &slot)); // same row mod 2.
+    EXPECT_TRUE(t.tryReserve(l2, 3, &slot));
+}
+
+// ---- list scheduler -------------------------------------------------------
+
+std::vector<Operation>
+chainOf(int n)
+{
+    std::vector<Operation> ops;
+    ops.push_back(mk(Opcode::Mov, 1, K(1)));
+    for (int i = 1; i < n; ++i) {
+        ops.push_back(mk(Opcode::Add, static_cast<Vreg>(i + 1),
+                         R(static_cast<Vreg>(i)), K(1)));
+    }
+    return ops;
+}
+
+TEST(ListScheduler, ChainTakesItsCriticalPath)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    auto ops = chainOf(6);
+    BlockSchedule s = sched.schedule(ops, false);
+    expectLegal(ops, s, machine);
+    EXPECT_EQ(s.length, 6);
+}
+
+TEST(ListScheduler, IndependentOpsPack)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    std::vector<Operation> ops;
+    for (int i = 0; i < 8; ++i)
+        ops.push_back(mk(Opcode::Add, static_cast<Vreg>(i + 1), K(i),
+                         K(1)));
+    BlockSchedule s = sched.schedule(ops, false);
+    EXPECT_EQ(s.length, 2); // 8 adds on 4 ALU slots.
+}
+
+TEST(ListScheduler, Width1IssuesOnePerCycle)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    std::vector<Operation> ops;
+    for (int i = 0; i < 5; ++i)
+        ops.push_back(mk(Opcode::Add, static_cast<Vreg>(i + 1), K(i),
+                         K(1)));
+    BlockSchedule s = sched.schedule(ops, true);
+    EXPECT_EQ(s.length, 5);
+    std::set<int> cycles;
+    for (const auto &p : s.placed)
+        EXPECT_TRUE(cycles.insert(p.cycle).second);
+}
+
+TEST(ListScheduler, LoadUseDelayRespected)
+{
+    MachineModel machine(models::i4c8s5()); // 1-cycle load-use delay.
+    ListScheduler sched(machine, bankZero());
+    std::vector<Operation> ops{mkLoad(1, 0, K(0)),
+                               mk(Opcode::Add, 2, R(1), K(1))};
+    BlockSchedule s = sched.schedule(ops, false);
+    EXPECT_GE(s.placed[1].cycle - s.placed[0].cycle, 2);
+}
+
+TEST(ListScheduler, BranchDelaySlotsExtendBlock)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    std::vector<Operation> ops{mk(Opcode::CmpLt, 1, K(0), K(1))};
+    Operation br = mk(Opcode::BrCond, kNoVreg, R(1));
+    ops.push_back(br);
+    BlockSchedule s = sched.schedule(ops, false);
+    // cmp at 0, branch at 1, one delay slot: 3 cycles.
+    EXPECT_EQ(s.length, 3);
+}
+
+TEST(ListScheduler, TrailingOpsFillDelaySlots)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    std::vector<Operation> ops{mk(Opcode::CmpLt, 1, K(0), K(1)),
+                               mk(Opcode::Add, 2, K(1), K(2)),
+                               mk(Opcode::Add, 3, K(3), K(4)),
+                               mk(Opcode::Add, 4, K(5), K(6)),
+                               mk(Opcode::Add, 5, K(7), K(8)),
+                               mk(Opcode::Add, 6, K(9), K(10))};
+    Operation br = mk(Opcode::BrCond, kNoVreg, R(1));
+    ops.push_back(br);
+    BlockSchedule s = sched.schedule(ops, false);
+    // 6 ALU-class ops over 4 slots = 2 cycles; the branch overlaps.
+    EXPECT_LE(s.length, 3);
+}
+
+TEST(ListScheduler, DeterministicAcrossRuns)
+{
+    MachineModel machine(models::i4c8s4());
+    ListScheduler sched(machine, bankZero());
+    auto ops = chainOf(10);
+    BlockSchedule a = sched.schedule(ops, false);
+    BlockSchedule b = sched.schedule(ops, false);
+    for (size_t i = 0; i < ops.size(); ++i)
+        EXPECT_EQ(a.placed[i].cycle, b.placed[i].cycle);
+}
+
+// ---- modulo scheduler -------------------------------------------------------
+
+TEST(ModuloScheduler, ResMiiFromLoadBandwidth)
+{
+    MachineModel machine(models::i4c8s4());
+    ModuloScheduler sched(machine, bankZero());
+    std::vector<Operation> ops{mkLoad(1, 0, K(0)),
+                               mkLoad(2, 0, K(1)),
+                               mk(Opcode::Add, 3, R(1), R(2))};
+    EXPECT_EQ(sched.resourceMii(ops), 2); // 2 loads / 1 LSU.
+    BlockSchedule s = sched.schedule(ops);
+    EXPECT_EQ(s.ii, 2);
+    expectLegal(ops, s, machine);
+}
+
+TEST(ModuloScheduler, RecurrenceBoundsII)
+{
+    MachineModel machine(models::i4c8s4());
+    ModuloScheduler sched(machine, bankZero());
+    // A three-op carried cycle: II >= 3 despite ample resources.
+    std::vector<Operation> ops{mk(Opcode::Add, 1, R(3), K(1)),
+                               mk(Opcode::Add, 2, R(1), K(1)),
+                               mk(Opcode::Add, 3, R(2), K(1))};
+    BlockSchedule s = sched.schedule(ops);
+    EXPECT_GE(s.ii, 3);
+    expectLegal(ops, s, machine);
+}
+
+TEST(ModuloScheduler, IndependentIterationsReachIiOne)
+{
+    MachineModel machine(models::i4c8s4());
+    ModuloScheduler sched(machine, bankZero());
+    std::vector<Operation> ops{mk(Opcode::Add, 1, K(1), K(2)),
+                               mk(Opcode::Add, 2, R(1), K(3))};
+    BlockSchedule s = sched.schedule(ops);
+    EXPECT_EQ(s.ii, 1);
+    EXPECT_GE(s.stages, 2); // the chain spans iterations.
+}
+
+TEST(ModuloScheduler, KernelOnlyCodeSize)
+{
+    MachineModel machine(models::i4c8s4());
+    ModuloScheduler sched(machine, bankZero());
+    std::vector<Operation> ops;
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(mk(Opcode::Add, static_cast<Vreg>(i + 1), K(i),
+                         K(1)));
+    BlockSchedule s = sched.schedule(ops);
+    EXPECT_EQ(s.instructions, s.ii);
+    EXPECT_EQ(s.ii, 3); // 12 ops / 4 slots.
+}
+
+TEST(ModuloScheduler, LoopCyclesFormula)
+{
+    BlockSchedule s;
+    s.ii = 4;
+    s.stages = 3;
+    // prologue (2*4) + 10 iterations * 4 + epilogue (2*4).
+    EXPECT_DOUBLE_EQ(s.loopCycles(10), 8 + 40 + 8);
+}
+
+TEST(RegPressure, CountsOverlappingLifetimes)
+{
+    MachineModel machine(models::i4c8s4());
+    // Two values both live at cycle 1.
+    std::vector<Operation> ops{mk(Opcode::Mov, 1, K(1)),
+                               mk(Opcode::Mov, 2, K(2)),
+                               mk(Opcode::Add, 3, R(1), R(2))};
+    BlockSchedule s;
+    s.placed = {{0, 0, 0}, {1, 0, 1}, {2, 0, 2}};
+    int live = maxLivePerCluster(ops, s, machine, 0);
+    EXPECT_GE(live, 2);
+    EXPECT_LE(live, 3);
+}
+
+TEST(RegPressure, ModuloLifetimesCountPerStage)
+{
+    MachineModel machine(models::i4c8s4());
+    // One value alive for 4 cycles under II=2: two overlapped copies.
+    std::vector<Operation> ops{mk(Opcode::Mov, 1, K(1)),
+                               mk(Opcode::Add, 2, R(1), K(0))};
+    BlockSchedule s;
+    s.ii = 2;
+    s.placed = {{0, 0, 0}, {4, 0, 0}};
+    EXPECT_GE(maxLivePerCluster(ops, s, machine, 2), 2);
+}
+
+} // namespace
+} // namespace vvsp

@@ -1,0 +1,27 @@
+/** @file Build sanity: the library headers and core objects work. */
+
+#include <gtest/gtest.h>
+
+#include "core/vvsp.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+TEST(Smoke, ModelsConstruct)
+{
+    for (const auto &cfg : models::table1Models()) {
+        MachineModel machine(cfg);
+        EXPECT_GE(machine.clusters(), 8);
+        EXPECT_GE(machine.slotsPerCluster(), 2);
+    }
+}
+
+TEST(Smoke, KernelsRegister)
+{
+    EXPECT_EQ(allKernels().size(), 6u);
+}
+
+} // namespace
+} // namespace vvsp

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * VLSI model tests: monotonicity properties of every megacell model
+ * and calibration against every number the paper publishes
+ * (Figures 2-5, Table 1/2 header rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/models.hh"
+#include "vlsi/area_estimator.hh"
+#include "vlsi/clock_estimator.hh"
+#include "vlsi/crossbar_model.hh"
+#include "vlsi/fu_model.hh"
+#include "vlsi/regfile_model.hh"
+#include "vlsi/sram_model.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+// ---- Crossbar (Fig 2) ----------------------------------------------
+
+TEST(CrossbarModel, DelayMonotonicInPorts)
+{
+    CrossbarModel m;
+    for (double w : CrossbarModel::standardDriversUm()) {
+        double prev = 0;
+        for (int p : CrossbarModel::standardPorts()) {
+            double d = m.delayNs(p, w);
+            EXPECT_GT(d, prev);
+            prev = d;
+        }
+    }
+}
+
+TEST(CrossbarModel, DelayImprovesWithBiggerDrivers)
+{
+    CrossbarModel m;
+    EXPECT_LT(m.delayNs(32, 5.1), m.delayNs(32, 1.8));
+}
+
+TEST(CrossbarModel, PaperCalibrationPoints)
+{
+    CrossbarModel m;
+    // "Cycle times under 1ns can be supported with up to 16 ports,
+    // but drop off quickly to 1.5ns at 32 ports and 3ns at 64."
+    EXPECT_LT(m.delayNs(16, 5.1), 1.0);
+    EXPECT_NEAR(m.delayNs(32, 5.1), 1.5, 0.1);
+    EXPECT_NEAR(m.delayNs(64, 5.1), 3.0, 0.2);
+}
+
+TEST(CrossbarModel, AreaInsensitiveToDriverSize)
+{
+    CrossbarModel m;
+    double small = m.areaMm2(32, 1.8);
+    double large = m.areaMm2(32, 5.1);
+    EXPECT_LT((large - small) / small, 0.1);
+}
+
+TEST(CrossbarModel, AreaWithinFig2LogRange)
+{
+    CrossbarModel m;
+    EXPECT_GT(m.areaMm2(4, 1.8), 0.1);
+    EXPECT_LT(m.areaMm2(64, 5.1), 100.0);
+}
+
+TEST(CrossbarModel, MinDriverSelection)
+{
+    CrossbarModel m;
+    double w = m.minDriverForCycle(32, 1.6);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(m.delayNs(32, w), 1.6);
+    EXPECT_LT(m.minDriverForCycle(64, 0.5), 0.0); // impossible.
+}
+
+// ---- Register file (Fig 3) ------------------------------------------
+
+TEST(RegfileModel, DelayOnlySlightlyPortDependent)
+{
+    RegisterFileModel m;
+    // The paper: "register-file delay is only slightly dependent on
+    // the number of ports".
+    double d3 = m.delayNs(64, 3);
+    double d12 = m.delayNs(64, 12);
+    EXPECT_LT((d12 - d3) / d3, 0.25);
+}
+
+TEST(RegfileModel, AreaGrowsSuperlinearlyWithPorts)
+{
+    RegisterFileModel m;
+    double a3 = m.areaMm2(128, 3);
+    double a12 = m.areaMm2(128, 12);
+    EXPECT_GT(a12 / a3, 3.0); // quadratic cell growth.
+}
+
+TEST(RegfileModel, Fig5CalibrationPoint)
+{
+    RegisterFileModel m;
+    // Fig 5: "12-ported register file - 128 registers  3.0 mm^2".
+    EXPECT_NEAR(m.areaMm2(128, 12), 3.0, 0.1);
+}
+
+TEST(RegfileModel, Supports256RegistersAtTargetClock)
+{
+    RegisterFileModel m;
+    // Sec. 3.2: "Up to 256 registers can be included per cluster and
+    // still achieve this target clock rate" (650 MHz => ~1.32ns
+    // stage budget).
+    EXPECT_LE(m.delayNs(256, 12), 1.33);
+    EXPECT_EQ(m.maxRegistersForDelay(12, 1.33), 256);
+}
+
+TEST(RegfileModel, DelayMonotonicInRegisters)
+{
+    RegisterFileModel m;
+    for (int p : RegisterFileModel::standardPorts())
+        EXPECT_LT(m.delayNs(64, p), m.delayNs(256, p));
+}
+
+// ---- Local SRAM (Fig 4) ---------------------------------------------
+
+TEST(SramModel, DelayMonotonicInSizeAndPorts)
+{
+    SramModel m;
+    double prev = 0;
+    for (int bytes : SramModel::standardSizes()) {
+        double d = m.delayNs(bytes, 3);
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+    EXPECT_LT(m.delayNs(2048, 1), m.delayNs(2048, 5));
+}
+
+TEST(SramModel, HighPerfDensityCalibration)
+{
+    SramModel m;
+    // "about 400 bytes of 4-ported memory per mm^2".
+    EXPECT_NEAR(m.densityBytesPerMm2(4, SramDesign::HighPerformance),
+                400.0, 25.0);
+}
+
+TEST(SramModel, HighDensityCalibration)
+{
+    SramModel m;
+    // "over 2600 bytes/mm^2 of single-ported memory or over 2200
+    // bytes/mm^2 of two-ported memory" (marginal density).
+    EXPECT_NEAR(m.densityBytesPerMm2(1, SramDesign::HighDensity),
+                2600.0, 70.0);
+    EXPECT_NEAR(m.densityBytesPerMm2(2, SramDesign::HighDensity),
+                2200.0, 60.0);
+}
+
+TEST(SramModel, Fig5LocalRamCalibration)
+{
+    SramModel m;
+    // Fig 5: "32K Local RAM  12.9 mm^2".
+    EXPECT_NEAR(m.composedAreaMm2(32 * 1024, 2048, 1,
+                                  SramDesign::HighDensity),
+                12.9, 0.2);
+}
+
+TEST(SramModel, HighDensityIsSlower)
+{
+    SramModel m;
+    EXPECT_GT(m.delayNs(2048, 1, SramDesign::HighDensity),
+              m.delayNs(2048, 1, SramDesign::HighPerformance));
+}
+
+TEST(SramModel, FastCellRecoversSpeedAtAreaCost)
+{
+    SramModel m;
+    EXPECT_LT(m.delayNs(512, 1, SramDesign::HighDensityFast),
+              m.delayNs(512, 1, SramDesign::HighDensity));
+    EXPECT_GT(m.areaMm2(16384, 1, SramDesign::HighDensityFast),
+              m.areaMm2(16384, 1, SramDesign::HighDensity));
+}
+
+TEST(SramModel, HighDensityRejectsManyPorts)
+{
+    SramModel m;
+    EXPECT_DEATH(m.delayNs(1024, 3, SramDesign::HighDensity),
+                 "at most 2 ports");
+}
+
+// ---- Area estimator (Fig 5, Table 1/2 areas) ------------------------
+
+TEST(AreaEstimator, Fig5Breakdown)
+{
+    AreaEstimator est;
+    AreaBreakdown b = est.estimate(models::i4c8s4());
+    EXPECT_NEAR(b.registerFile, 3.0, 0.1);
+    EXPECT_NEAR(b.alus, 1.6, 0.05);
+    EXPECT_NEAR(b.multipliers, 1.0, 0.05);
+    EXPECT_NEAR(b.shifters, 0.5, 0.05);
+    EXPECT_NEAR(b.localRam, 12.9, 0.2);
+    EXPECT_NEAR(b.clusterTotal, 21.3, 0.3);
+    EXPECT_NEAR(b.datapathTotal, 181.4, 3.0);
+}
+
+struct AreaCase
+{
+    const char *model;
+    double paperMm2;
+};
+
+class AreaRows : public ::testing::TestWithParam<AreaCase>
+{
+};
+
+TEST_P(AreaRows, MatchesPaperWithinTwoPercent)
+{
+    AreaEstimator est;
+    double a = est.datapathMm2(models::byName(GetParam().model));
+    EXPECT_NEAR(a, GetParam().paperMm2, GetParam().paperMm2 * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1And2, AreaRows,
+    ::testing::Values(AreaCase{"I4C8S4", 181.4},
+                      AreaCase{"I4C8S4C", 181.4},
+                      AreaCase{"I4C8S5", 183.5},
+                      AreaCase{"I2C16S4", 180.0},
+                      AreaCase{"I2C16S5", 217.0},
+                      AreaCase{"I4C8S5M16", 199.5},
+                      AreaCase{"I2C16S5M16", 249.0}));
+
+TEST(AreaEstimator, PowerInPaperRange)
+{
+    AreaEstimator est;
+    ClockEstimator clk;
+    auto cfg = models::i4c8s4();
+    double ghz = clk.clockMhz(cfg) / 1000.0;
+    double chip = est.chipPowerWatts(cfg, ghz);
+    // Sec. 3: "the chip's power consumption, although in the 50 W
+    // range, was low enough to be feasible".
+    EXPECT_GT(chip, 35.0);
+    EXPECT_LT(chip, 65.0);
+}
+
+// ---- Clock estimator (Table 1/2 relative clock rows) ----------------
+
+struct ClockCase
+{
+    const char *model;
+    double paperRelative;
+};
+
+class ClockRows : public ::testing::TestWithParam<ClockCase>
+{
+};
+
+TEST_P(ClockRows, MatchesPaperWithinFivePercent)
+{
+    ClockEstimator clk;
+    double rel = clk.relativeClock(models::byName(GetParam().model),
+                                   models::i4c8s4());
+    EXPECT_NEAR(rel, GetParam().paperRelative,
+                GetParam().paperRelative * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1And2, ClockRows,
+    ::testing::Values(ClockCase{"I4C8S4", 1.0},
+                      ClockCase{"I4C8S4C", 0.6},
+                      ClockCase{"I4C8S5", 0.95},
+                      ClockCase{"I2C16S4", 1.3},
+                      ClockCase{"I2C16S5", 1.3},
+                      ClockCase{"I4C8S5M16", 0.95},
+                      ClockCase{"I2C16S5M16", 1.3}));
+
+TEST(ClockEstimator, AbsoluteRatesInPaperBand)
+{
+    ClockEstimator clk;
+    // "extremely fast (650MHz-850MHz) clock rate".
+    EXPECT_NEAR(clk.clockMhz(models::i4c8s4()), 650.0, 25.0);
+    EXPECT_NEAR(clk.clockMhz(models::i2c16s4()), 850.0, 30.0);
+}
+
+TEST(ClockEstimator, CrossbarFitsWithinCycleOnAllModels)
+{
+    ClockEstimator clk;
+    for (const auto &cfg : models::table1Models()) {
+        ClockBreakdown b = clk.estimate(cfg);
+        EXPECT_LE(b.crossbarNs, b.cycleNs)
+            << cfg.name << ": " << b.str();
+    }
+}
+
+TEST(ClockEstimator, AbsDiffSlowsSmallClusters)
+{
+    ClockEstimator clk;
+    auto base = models::i2c16s4();
+    auto with_ad = models::withAbsDiff(base);
+    // "(> cycle & area)": the 2 extra gate delays land on the
+    // critical execute path of the fast 16-cluster models.
+    EXPECT_LT(clk.clockMhz(with_ad), clk.clockMhz(base));
+}
+
+TEST(FunctionalUnits, PaperFigures)
+{
+    FunctionalUnitModel fu;
+    EXPECT_NEAR(fu.aluAreaMm2(), 0.4, 0.01);
+    EXPECT_NEAR(fu.mult8AreaMm2(), 1.0, 0.01);
+    EXPECT_LT(fu.mult16AreaMm2(), 3.0); // "should require under 3mm^2"
+    EXPECT_NEAR(fu.shifterAreaMm2(), 0.5, 0.01);
+    EXPECT_GT(fu.aluDelayNs(true), fu.aluDelayNs(false));
+    EXPECT_GT(fu.aluAreaMm2(true), fu.aluAreaMm2(false));
+}
+
+} // namespace
+} // namespace vvsp
