@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dual_ls.dir/ablation_dual_ls.cc.o"
+  "CMakeFiles/ablation_dual_ls.dir/ablation_dual_ls.cc.o.d"
+  "ablation_dual_ls"
+  "ablation_dual_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dual_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conclusions.dir/conclusions.cc.o"
+  "CMakeFiles/conclusions.dir/conclusions.cc.o.d"
+  "conclusions"
+  "conclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

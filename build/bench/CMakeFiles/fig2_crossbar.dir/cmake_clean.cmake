@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_crossbar.dir/fig2_crossbar.cc.o"
+  "CMakeFiles/fig2_crossbar.dir/fig2_crossbar.cc.o.d"
+  "fig2_crossbar"
+  "fig2_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_regfile.dir/fig3_regfile.cc.o"
+  "CMakeFiles/fig3_regfile.dir/fig3_regfile.cc.o.d"
+  "fig3_regfile"
+  "fig3_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

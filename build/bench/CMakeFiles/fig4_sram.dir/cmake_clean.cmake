@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sram.dir/fig4_sram.cc.o"
+  "CMakeFiles/fig4_sram.dir/fig4_sram.cc.o.d"
+  "fig4_sram"
+  "fig4_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_area.dir/fig5_area.cc.o"
+  "CMakeFiles/fig5_area.dir/fig5_area.cc.o.d"
+  "fig5_area"
+  "fig5_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

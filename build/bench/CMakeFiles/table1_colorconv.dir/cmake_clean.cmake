@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_colorconv.dir/table1_colorconv.cc.o"
+  "CMakeFiles/table1_colorconv.dir/table1_colorconv.cc.o.d"
+  "table1_colorconv"
+  "table1_colorconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_colorconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dct_rowcol.dir/table1_dct_rowcol.cc.o"
+  "CMakeFiles/table1_dct_rowcol.dir/table1_dct_rowcol.cc.o.d"
+  "table1_dct_rowcol"
+  "table1_dct_rowcol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dct_rowcol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dct_trad.dir/table1_dct_trad.cc.o"
+  "CMakeFiles/table1_dct_trad.dir/table1_dct_trad.cc.o.d"
+  "table1_dct_trad"
+  "table1_dct_trad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dct_trad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

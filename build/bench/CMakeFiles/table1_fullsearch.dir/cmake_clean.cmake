@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fullsearch.dir/table1_fullsearch.cc.o"
+  "CMakeFiles/table1_fullsearch.dir/table1_fullsearch.cc.o.d"
+  "table1_fullsearch"
+  "table1_fullsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fullsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

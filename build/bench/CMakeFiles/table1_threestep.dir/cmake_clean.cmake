@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_threestep.dir/table1_threestep.cc.o"
+  "CMakeFiles/table1_threestep.dir/table1_threestep.cc.o.d"
+  "table1_threestep"
+  "table1_threestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_threestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_vbr.dir/table1_vbr.cc.o"
+  "CMakeFiles/table1_vbr.dir/table1_vbr.cc.o.d"
+  "table1_vbr"
+  "table1_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mult16.dir/table2_mult16.cc.o"
+  "CMakeFiles/table2_mult16.dir/table2_mult16.cc.o.d"
+  "table2_mult16"
+  "table2_mult16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mult16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

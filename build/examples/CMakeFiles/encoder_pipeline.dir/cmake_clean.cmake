@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_pipeline.dir/encoder_pipeline.cpp.o"
+  "CMakeFiles/encoder_pipeline.dir/encoder_pipeline.cpp.o.d"
+  "encoder_pipeline"
+  "encoder_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/datapath_config.cc" "src/CMakeFiles/vvsp.dir/arch/datapath_config.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/arch/datapath_config.cc.o.d"
+  "/root/repo/src/arch/machine_model.cc" "src/CMakeFiles/vvsp.dir/arch/machine_model.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/arch/machine_model.cc.o.d"
+  "/root/repo/src/arch/models.cc" "src/CMakeFiles/vvsp.dir/arch/models.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/arch/models.cc.o.d"
+  "/root/repo/src/core/design_space.cc" "src/CMakeFiles/vvsp.dir/core/design_space.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/core/design_space.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/vvsp.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/core/experiment.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/vvsp.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/dependence_graph.cc" "src/CMakeFiles/vvsp.dir/ir/dependence_graph.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/dependence_graph.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/CMakeFiles/vvsp.dir/ir/function.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/function.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/vvsp.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/operation.cc" "src/CMakeFiles/vvsp.dir/ir/operation.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/operation.cc.o.d"
+  "/root/repo/src/ir/region.cc" "src/CMakeFiles/vvsp.dir/ir/region.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/region.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/vvsp.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/kernels/color_convert.cc" "src/CMakeFiles/vvsp.dir/kernels/color_convert.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/color_convert.cc.o.d"
+  "/root/repo/src/kernels/composer.cc" "src/CMakeFiles/vvsp.dir/kernels/composer.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/composer.cc.o.d"
+  "/root/repo/src/kernels/dct.cc" "src/CMakeFiles/vvsp.dir/kernels/dct.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/dct.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/CMakeFiles/vvsp.dir/kernels/kernel.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/kernel.cc.o.d"
+  "/root/repo/src/kernels/motion_search.cc" "src/CMakeFiles/vvsp.dir/kernels/motion_search.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/motion_search.cc.o.d"
+  "/root/repo/src/kernels/vbr.cc" "src/CMakeFiles/vvsp.dir/kernels/vbr.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/kernels/vbr.cc.o.d"
+  "/root/repo/src/sched/cluster_assign.cc" "src/CMakeFiles/vvsp.dir/sched/cluster_assign.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/cluster_assign.cc.o.d"
+  "/root/repo/src/sched/list_scheduler.cc" "src/CMakeFiles/vvsp.dir/sched/list_scheduler.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/list_scheduler.cc.o.d"
+  "/root/repo/src/sched/modulo_scheduler.cc" "src/CMakeFiles/vvsp.dir/sched/modulo_scheduler.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/modulo_scheduler.cc.o.d"
+  "/root/repo/src/sched/reg_pressure.cc" "src/CMakeFiles/vvsp.dir/sched/reg_pressure.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/reg_pressure.cc.o.d"
+  "/root/repo/src/sched/reservation_table.cc" "src/CMakeFiles/vvsp.dir/sched/reservation_table.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/reservation_table.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "src/CMakeFiles/vvsp.dir/sched/schedule.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sched/schedule.cc.o.d"
+  "/root/repo/src/sim/cycle_sim.cc" "src/CMakeFiles/vvsp.dir/sim/cycle_sim.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sim/cycle_sim.cc.o.d"
+  "/root/repo/src/sim/interpreter.cc" "src/CMakeFiles/vvsp.dir/sim/interpreter.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sim/interpreter.cc.o.d"
+  "/root/repo/src/sim/memory_image.cc" "src/CMakeFiles/vvsp.dir/sim/memory_image.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/sim/memory_image.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/CMakeFiles/vvsp.dir/support/logging.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/support/logging.cc.o.d"
+  "/root/repo/src/support/random.cc" "src/CMakeFiles/vvsp.dir/support/random.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/support/random.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/CMakeFiles/vvsp.dir/support/stats.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/support/stats.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/CMakeFiles/vvsp.dir/support/table.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/support/table.cc.o.d"
+  "/root/repo/src/video/bitstream.cc" "src/CMakeFiles/vvsp.dir/video/bitstream.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/video/bitstream.cc.o.d"
+  "/root/repo/src/video/frame.cc" "src/CMakeFiles/vvsp.dir/video/frame.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/video/frame.cc.o.d"
+  "/root/repo/src/video/mpeg.cc" "src/CMakeFiles/vvsp.dir/video/mpeg.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/video/mpeg.cc.o.d"
+  "/root/repo/src/video/synthetic.cc" "src/CMakeFiles/vvsp.dir/video/synthetic.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/video/synthetic.cc.o.d"
+  "/root/repo/src/vlsi/area_estimator.cc" "src/CMakeFiles/vvsp.dir/vlsi/area_estimator.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/area_estimator.cc.o.d"
+  "/root/repo/src/vlsi/clock_estimator.cc" "src/CMakeFiles/vvsp.dir/vlsi/clock_estimator.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/clock_estimator.cc.o.d"
+  "/root/repo/src/vlsi/crossbar_model.cc" "src/CMakeFiles/vvsp.dir/vlsi/crossbar_model.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/crossbar_model.cc.o.d"
+  "/root/repo/src/vlsi/fu_model.cc" "src/CMakeFiles/vvsp.dir/vlsi/fu_model.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/fu_model.cc.o.d"
+  "/root/repo/src/vlsi/regfile_model.cc" "src/CMakeFiles/vvsp.dir/vlsi/regfile_model.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/regfile_model.cc.o.d"
+  "/root/repo/src/vlsi/sram_model.cc" "src/CMakeFiles/vvsp.dir/vlsi/sram_model.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/sram_model.cc.o.d"
+  "/root/repo/src/vlsi/technology.cc" "src/CMakeFiles/vvsp.dir/vlsi/technology.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/vlsi/technology.cc.o.d"
+  "/root/repo/src/xform/addr_mode.cc" "src/CMakeFiles/vvsp.dir/xform/addr_mode.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/addr_mode.cc.o.d"
+  "/root/repo/src/xform/const_fold.cc" "src/CMakeFiles/vvsp.dir/xform/const_fold.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/const_fold.cc.o.d"
+  "/root/repo/src/xform/cse.cc" "src/CMakeFiles/vvsp.dir/xform/cse.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/cse.cc.o.d"
+  "/root/repo/src/xform/dce.cc" "src/CMakeFiles/vvsp.dir/xform/dce.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/dce.cc.o.d"
+  "/root/repo/src/xform/if_convert.cc" "src/CMakeFiles/vvsp.dir/xform/if_convert.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/if_convert.cc.o.d"
+  "/root/repo/src/xform/licm.cc" "src/CMakeFiles/vvsp.dir/xform/licm.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/licm.cc.o.d"
+  "/root/repo/src/xform/mul_decompose.cc" "src/CMakeFiles/vvsp.dir/xform/mul_decompose.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/mul_decompose.cc.o.d"
+  "/root/repo/src/xform/pass_manager.cc" "src/CMakeFiles/vvsp.dir/xform/pass_manager.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/pass_manager.cc.o.d"
+  "/root/repo/src/xform/strength_reduce.cc" "src/CMakeFiles/vvsp.dir/xform/strength_reduce.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/strength_reduce.cc.o.d"
+  "/root/repo/src/xform/unroll.cc" "src/CMakeFiles/vvsp.dir/xform/unroll.cc.o" "gcc" "src/CMakeFiles/vvsp.dir/xform/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

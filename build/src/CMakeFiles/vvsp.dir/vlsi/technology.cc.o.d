@@ -1,0 +1,3 @@
+src/CMakeFiles/vvsp.dir/vlsi/technology.cc.o: \
+ /root/repo/src/vlsi/technology.cc /usr/include/stdc-predef.h \
+ /root/repo/src/vlsi/technology.hh

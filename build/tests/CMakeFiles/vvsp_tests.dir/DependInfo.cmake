@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/vvsp_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_cycle_sim.cc" "tests/CMakeFiles/vvsp_tests.dir/test_cycle_sim.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_cycle_sim.cc.o.d"
+  "/root/repo/tests/test_depgraph.cc" "tests/CMakeFiles/vvsp_tests.dir/test_depgraph.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_depgraph.cc.o.d"
+  "/root/repo/tests/test_design_space.cc" "tests/CMakeFiles/vvsp_tests.dir/test_design_space.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_design_space.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/vvsp_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_interpreter.cc" "tests/CMakeFiles/vvsp_tests.dir/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_interpreter.cc.o.d"
+  "/root/repo/tests/test_ir.cc" "tests/CMakeFiles/vvsp_tests.dir/test_ir.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_ir.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/vvsp_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/vvsp_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_passes.cc" "tests/CMakeFiles/vvsp_tests.dir/test_passes.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_passes.cc.o.d"
+  "/root/repo/tests/test_sched.cc" "tests/CMakeFiles/vvsp_tests.dir/test_sched.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_sched.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/vvsp_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/vvsp_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_video.cc" "tests/CMakeFiles/vvsp_tests.dir/test_video.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_video.cc.o.d"
+  "/root/repo/tests/test_vlsi.cc" "tests/CMakeFiles/vvsp_tests.dir/test_vlsi.cc.o" "gcc" "tests/CMakeFiles/vvsp_tests.dir/test_vlsi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vvsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
