@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Sweep-engine throughput: wall time for the full Table 1 grid
+ * (every kernel x every variant x the five Table 1 models) evaluated
+ *  - serially (one runExperiment per cell, no cache),
+ *  - pooled (SweepRunner on the hardware's threads, no cache),
+ *  - pooled + memo cache, re-run with a warm cache.
+ *
+ * Cells use one profiled unit so an iteration stays benchmark-sized;
+ * the relative speedups are what matters. The pooled pass also
+ * verifies, once, that every cell's cycles-per-frame is bit-identical
+ * to the serial pass (the sweep determinism contract; the full test
+ * is in tests/test_sweep.cc).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/models.hh"
+#include "core/sweep.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+/** The full Table 1 grid, row major, one profiled unit per cell. */
+const std::vector<ExperimentRequest> &
+table1Grid()
+{
+    static const std::vector<ExperimentRequest> grid = [] {
+        std::vector<ExperimentRequest> reqs;
+        static const std::vector<DatapathConfig> models_list =
+            models::table1Models();
+        for (const KernelSpec &k : allKernels()) {
+            for (const VariantSpec &v : k.variants) {
+                for (const DatapathConfig &m : models_list) {
+                    ExperimentRequest req;
+                    req.kernel = &k;
+                    req.variant = &v;
+                    req.model = m;
+                    req.profileUnits = 1;
+                    reqs.push_back(req);
+                }
+            }
+        }
+        return reqs;
+    }();
+    return grid;
+}
+
+/** Serial reference results (computed once, reused for validation). */
+const std::vector<ExperimentResult> &
+serialResults()
+{
+    static const std::vector<ExperimentResult> results = [] {
+        std::vector<ExperimentResult> res;
+        for (const ExperimentRequest &req : table1Grid())
+            res.push_back(runExperiment(req));
+        return res;
+    }();
+    return results;
+}
+
+void
+BM_Table1SweepSerial(benchmark::State &state)
+{
+    const auto &grid = table1Grid();
+    for (auto _ : state) {
+        for (const ExperimentRequest &req : grid)
+            benchmark::DoNotOptimize(runExperiment(req));
+    }
+    state.counters["cells"] = static_cast<double>(grid.size());
+}
+BENCHMARK(BM_Table1SweepSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_Table1SweepPooled(benchmark::State &state)
+{
+    const auto &grid = table1Grid();
+    SweepOptions opts;
+    opts.useCache = false;
+    SweepRunner runner(opts);
+    std::vector<ExperimentResult> results;
+    for (auto _ : state)
+        results = runner.run(grid);
+
+    // Bit-identity vs the serial path, checked once per process.
+    const auto &serial = serialResults();
+    for (size_t i = 0; i < grid.size(); ++i) {
+        if (results[i].cyclesPerFrame != serial[i].cyclesPerFrame) {
+            std::fprintf(stderr,
+                         "pooled/serial mismatch in cell %zu\n", i);
+            std::abort();
+        }
+    }
+    state.counters["cells"] = static_cast<double>(grid.size());
+    state.counters["threads"] =
+        static_cast<double>(runner.threadCount());
+}
+BENCHMARK(BM_Table1SweepPooled)->Unit(benchmark::kMillisecond);
+
+void
+BM_Table1SweepPooledCachedRerun(benchmark::State &state)
+{
+    const auto &grid = table1Grid();
+    ExperimentCache cache;
+    SweepOptions opts;
+    opts.cache = &cache;
+    SweepRunner runner(opts);
+    runner.run(grid); // warm the cache; the timed runs are re-runs.
+    std::vector<ExperimentResult> results;
+    for (auto _ : state)
+        results = runner.run(grid);
+
+    ExperimentCacheStats stats = cache.stats();
+    state.counters["cells"] = static_cast<double>(grid.size());
+    state.counters["result_hits"] =
+        static_cast<double>(stats.resultHits);
+}
+BENCHMARK(BM_Table1SweepPooledCachedRerun)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential", {15.15, 13.24, 13.24, 15.15, 13.24}},
         {"Sequential-unrolled", {12.15, 10.42, 10.42, 12.15, 10.42}},
@@ -20,6 +21,6 @@ main()
          {0.46, 0.41, 0.42, 0.40, 0.38}},
     };
     runKernelTable("RGB:YCrCb converter/subsampler",
-                   models::table1Models(), paper);
+                   models::table1Models(), paper, 4, opts);
     return 0;
 }

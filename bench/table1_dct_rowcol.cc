@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential-unoptimized",
          {135.0, 129.5, 129.5, 135.0, 129.5}},
@@ -22,6 +23,7 @@ main()
         {"+arithmetic optimization", {2.85, 2.84, 2.85, 2.30, 2.13}},
         {"+unroll 2 levels & widen", {2.70, 2.70, 2.70, 2.38, 2.20}},
     };
-    runKernelTable("DCT - row/column", models::table1Models(), paper);
+    runKernelTable("DCT - row/column", models::table1Models(), paper,
+                   4, opts);
     return 0;
 }

@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential-unoptimized",
          {703.1, 692.2, 692.2, 702.1, 692.2}},
@@ -25,6 +26,6 @@ main()
          {13.92, 13.90, 13.92, 10.17, 9.48}},
     };
     runKernelTable("DCT - traditional", models::table1Models(), paper,
-                   2);
+                   2, opts);
     return 0;
 }

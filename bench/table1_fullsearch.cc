@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential-predicated",
          {815.7, 815.7, 815.7, 815.7, 815.7}},
@@ -26,6 +27,6 @@ main()
         {"Add spec. op (blocked)", {6.85, 6.85, 6.85, 6.85, 6.85}},
     };
     runKernelTable("Full Motion Search", models::table1Models(),
-                   paper);
+                   paper, 4, opts);
     return 0;
 }

@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential-predicated",
          {86.12, 86.12, 86.12, 86.12, 86.12}},
@@ -24,6 +25,7 @@ main()
         {"Blocking/Loop Exchange", {1.62, 1.33, 1.33, 1.60, 1.32}},
         {"Add spec. op (blocked)", {1.33, 1.33, 1.33, 1.32, 1.02}},
     };
-    runKernelTable("Three-step Search", models::table1Models(), paper);
+    runKernelTable("Three-step Search", models::table1Models(), paper,
+                   4, opts);
     return 0;
 }

@@ -12,8 +12,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     std::vector<PaperRow> paper{
         {"Sequential", {4.44, 4.21, 4.44, 4.44, 4.44}},
         {"Sequential-predicated", {4.37, 4.02, 4.37, 4.37, 4.37}},
@@ -25,6 +26,6 @@ main()
         {"+phase pipelining", {1.76, 1.75, 1.76, 1.95, 1.93}},
     };
     runKernelTable("Variable-Bit-Rate Coder", models::table1Models(),
-                   paper, 48);
+                   paper, 48, opts);
     return 0;
 }

@@ -10,8 +10,9 @@ using namespace vvsp;
 using namespace vvsp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TableOptions opts = parseTableArgs(argc, argv);
     auto models_list = models::table2Models();
 
     std::vector<PaperRow> trad{
@@ -24,7 +25,7 @@ main()
         {"+unroll 2 levels & widen",
          {13.92, 13.92, 3.95, 18.96, 1.91}},
     };
-    runKernelTable("DCT - traditional", models_list, trad, 2);
+    runKernelTable("DCT - traditional", models_list, trad, 2, opts);
 
     std::vector<PaperRow> rowcol{
         {"Sequential-unoptimized",
@@ -36,6 +37,6 @@ main()
         {"+unroll 2 levels & widen",
          {2.70, 2.70, 0.86, 4.41, 0.61}},
     };
-    runKernelTable("DCT - row/column", models_list, rowcol);
+    runKernelTable("DCT - row/column", models_list, rowcol, 4, opts);
     return 0;
 }

@@ -3,18 +3,29 @@
  * Shared harness for the Table 1 / Table 2 benchmark binaries: runs
  * every (variant x model) cell of one kernel section and prints the
  * measured cycles-per-frame next to the paper's published value.
+ *
+ * The whole grid is submitted as one batch to the SweepRunner, so
+ * cells evaluate concurrently (and repeated cells hit the memo
+ * cache) while the printed layout stays in row-major request order.
+ *
+ * Every table binary accepts:
+ *   --json         machine-readable cell dump instead of the table
+ *   --threads=N    worker threads (default: hardware concurrency)
+ *   --no-cache     disable the memo cache
  */
 
 #ifndef VVSP_BENCH_TABLE_COMMON_HH
 #define VVSP_BENCH_TABLE_COMMON_HH
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "arch/models.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "support/table.hh"
 
 namespace vvsp
@@ -29,13 +40,127 @@ struct PaperRow
     std::vector<double> millions;
 };
 
+/** Harness options shared by every table binary. */
+struct TableOptions
+{
+    bool json = false;
+    int threads = 0; ///< 0 = hardware concurrency.
+    bool cache = true;
+};
+
+inline TableOptions
+parseTableArgs(int argc, char **argv)
+{
+    TableOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--json") == 0) {
+            opts.json = true;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            char *end = nullptr;
+            long n = std::strtol(a + 10, &end, 10);
+            if (end == a + 10 || *end != '\0' || n < 0) {
+                std::fprintf(stderr,
+                             "%s: --threads wants a non-negative "
+                             "integer, got '%s'\n",
+                             argv[0], a + 10);
+                std::exit(2);
+            }
+            opts.threads = static_cast<int>(n);
+        } else if (std::strcmp(a, "--no-cache") == 0) {
+            opts.cache = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json] [--threads=N] "
+                         "[--no-cache]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** JSON string escaping for the names we emit (quotes/backslash). */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Emit one kernel section's cells as a JSON array entry on stdout.
+ * `paper_value` is in raw cycles (0 when the paper has no value).
+ */
+inline void
+printJsonCells(const std::string &kernel_name,
+               const std::vector<ExperimentRequest> &requests,
+               const std::vector<ExperimentResult> &results,
+               const std::vector<double> &paper_values)
+{
+    std::printf("{\"kernel\": \"%s\", \"cells\": [\n",
+                jsonEscape(kernel_name).c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        std::printf("  {\"variant\": \"%s\", \"model\": \"%s\", "
+                    "\"cycles_per_frame\": %.1f, "
+                    "\"cycles_per_unit\": %.4f, "
+                    "\"paper_cycles_per_frame\": %.1f, "
+                    "\"passed\": %s, \"icache_ok\": %s, "
+                    "\"registers_ok\": %s}%s\n",
+                    jsonEscape(r.variant).c_str(),
+                    jsonEscape(r.model).c_str(), r.cyclesPerFrame,
+                    r.cyclesPerUnit, paper_values[i],
+                    r.passed ? "true" : "false",
+                    r.comp.icacheOk ? "true" : "false",
+                    r.comp.registersOk ? "true" : "false",
+                    i + 1 < results.size() ? "," : "");
+        (void)requests;
+    }
+    std::printf("]}\n");
+}
+
 inline void
 runKernelTable(const std::string &kernel_name,
                const std::vector<DatapathConfig> &models_list,
                const std::vector<PaperRow> &paper,
-               int profile_units = 4)
+               int profile_units = 4, const TableOptions &opts = {})
 {
     const KernelSpec &kernel = kernelByName(kernel_name);
+
+    // The full grid, row major, as one sweep batch.
+    std::vector<ExperimentRequest> requests;
+    std::vector<double> paper_values;
+    requests.reserve(paper.size() * models_list.size());
+    for (const PaperRow &p : paper) {
+        for (size_t col = 0; col < models_list.size(); ++col) {
+            ExperimentRequest req;
+            req.kernel = &kernel;
+            req.variant = &kernel.variant(p.variant);
+            req.model = models_list[col];
+            req.profileUnits = profile_units;
+            requests.push_back(req);
+            double pv = col < p.millions.size() ? p.millions[col] : 0;
+            paper_values.push_back(pv > 0 ? pv * 1e6 : 0);
+        }
+    }
+
+    SweepOptions sopts;
+    sopts.threads = opts.threads;
+    sopts.useCache = opts.cache;
+    SweepRunner runner(sopts);
+    std::vector<ExperimentResult> results = runner.run(requests);
+
+    if (opts.json) {
+        printJsonCells(kernel_name, requests, results, paper_values);
+        return;
+    }
+
     std::printf("%s (cycles per 720x480 frame; 'paper' = HPCA'97 "
                 "Table value)\n\n",
                 kernel_name.c_str());
@@ -48,16 +173,11 @@ runKernelTable(const std::string &kernel_name,
     }
     table.header(head);
 
-    for (size_t row = 0; row < paper.size(); ++row) {
-        const PaperRow &p = paper[row];
+    size_t idx = 0;
+    for (const PaperRow &p : paper) {
         std::vector<std::string> cells{p.variant};
-        for (size_t col = 0; col < models_list.size(); ++col) {
-            ExperimentRequest req;
-            req.kernel = &kernel;
-            req.variant = &kernel.variant(p.variant);
-            req.model = models_list[col];
-            req.profileUnits = profile_units;
-            ExperimentResult r = runExperiment(req);
+        for (size_t col = 0; col < models_list.size(); ++col, ++idx) {
+            const ExperimentResult &r = results[idx];
             std::string cell = TextTable::cycles(r.cyclesPerFrame);
             if (!r.passed)
                 cell += "!";
@@ -66,9 +186,8 @@ runKernelTable(const std::string &kernel_name,
             if (!r.comp.registersOk)
                 cell += "*"; // register pressure exceeds the file.
             cells.push_back(cell);
-            double pv = col < p.millions.size() ? p.millions[col] : 0;
-            cells.push_back(pv > 0 ? TextTable::cycles(pv * 1e6)
-                                   : "-");
+            double pv = paper_values[idx];
+            cells.push_back(pv > 0 ? TextTable::cycles(pv) : "-");
         }
         table.row(cells);
     }

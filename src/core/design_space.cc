@@ -19,13 +19,10 @@ DesignPoint::str() const
     return os.str();
 }
 
-std::vector<DesignPoint>
-exploreDesignSpace(const DesignSweep &sweep, const WorkloadScorer &scorer)
+std::vector<DatapathConfig>
+enumerateSweepConfigs(const DesignSweep &sweep)
 {
-    AreaEstimator area;
-    ClockEstimator clock;
-    std::vector<DesignPoint> points;
-
+    std::vector<DatapathConfig> configs;
     for (int clusters : sweep.clusterCounts) {
         for (int slots : sweep.issueSlots) {
             for (int regs : sweep.registerCounts) {
@@ -63,29 +60,37 @@ exploreDesignSpace(const DesignSweep &sweep, const WorkloadScorer &scorer)
                         cfg.icacheInstructions =
                             clusters >= 16 ? 512 : 1024;
                         cfg.validate();
-
-                        DesignPoint p;
-                        p.config = cfg;
-                        p.areaMm2 = area.datapathMm2(cfg);
-                        if (sweep.maxAreaMm2 > 0 &&
-                            p.areaMm2 > sweep.maxAreaMm2) {
-                            continue;
-                        }
-                        p.clockMhz = clock.clockMhz(cfg);
-                        p.peakGops = (cfg.totalIssueSlots() + 1) *
-                                     p.clockMhz / 1000.0;
-                        if (scorer) {
-                            double cycles = scorer(cfg);
-                            if (cycles > 0) {
-                                p.framesPerSecond =
-                                    p.clockMhz * 1e6 / cycles;
-                            }
-                        }
-                        points.push_back(std::move(p));
+                        configs.push_back(std::move(cfg));
                     }
                 }
             }
         }
+    }
+    return configs;
+}
+
+std::vector<DesignPoint>
+exploreDesignSpace(const DesignSweep &sweep, const WorkloadScorer &scorer)
+{
+    AreaEstimator area;
+    ClockEstimator clock;
+    std::vector<DesignPoint> points;
+
+    for (const DatapathConfig &cfg : enumerateSweepConfigs(sweep)) {
+        DesignPoint p;
+        p.config = cfg;
+        p.areaMm2 = area.datapathMm2(cfg);
+        if (sweep.maxAreaMm2 > 0 && p.areaMm2 > sweep.maxAreaMm2)
+            continue;
+        p.clockMhz = clock.clockMhz(cfg);
+        p.peakGops =
+            (cfg.totalIssueSlots() + 1) * p.clockMhz / 1000.0;
+        if (scorer) {
+            double cycles = scorer(cfg);
+            if (cycles > 0)
+                p.framesPerSecond = p.clockMhz * 1e6 / cycles;
+        }
+        points.push_back(std::move(p));
     }
     return points;
 }

@@ -57,6 +57,14 @@ struct DesignSweep
 using WorkloadScorer =
     std::function<double(const DatapathConfig &cfg)>;
 
+/**
+ * Enumerate the sweep's candidate configs (validated, in a fixed
+ * deterministic order, without pricing or scoring). Exposed so
+ * harnesses can batch the scoring through the SweepRunner.
+ */
+std::vector<DatapathConfig>
+enumerateSweepConfigs(const DesignSweep &sweep);
+
 /** Enumerate, price, and (optionally) score the sweep. */
 std::vector<DesignPoint> exploreDesignSpace(
     const DesignSweep &sweep, const WorkloadScorer &scorer = nullptr);

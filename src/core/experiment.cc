@@ -3,6 +3,7 @@
 #include <map>
 
 #include "arch/models.hh"
+#include "core/experiment_cache.hh"
 #include "ir/verifier.hh"
 #include "sched/cluster_assign.hh"
 #include "support/logging.hh"
@@ -77,7 +78,7 @@ lowerVariant(const KernelSpec &kernel, const VariantSpec &variant,
 }
 
 ExperimentResult
-runExperiment(const ExperimentRequest &req)
+runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
 {
     vvsp_assert(req.kernel && req.variant, "incomplete request");
     const KernelSpec &kernel = *req.kernel;
@@ -90,11 +91,21 @@ runExperiment(const ExperimentRequest &req)
     MachineModel machine(cfg);
 
     ExperimentResult res;
+    std::string result_key;
+    if (cache) {
+        result_key = ExperimentCache::resultKey(req, cfg);
+        if (cache->findResult(result_key, req.model.name, res))
+            return res;
+    }
     res.kernel = kernel.name;
     res.variant = variant.name;
     res.model = req.model.name;
 
-    Function fn = lowerVariant(kernel, variant, machine);
+    Function fn =
+        cache ? cache->lowerCached(
+                    ExperimentCache::loweringKey(req, cfg), kernel,
+                    variant, machine)
+              : lowerVariant(kernel, variant, machine);
 
     AvgProfile avg(fn.numNodeIds());
     if (req.check) {
@@ -156,6 +167,8 @@ runExperiment(const ExperimentRequest &req)
     if (!res.comp.registersOk)
         res.note += (res.note.empty() ? "" : "; ") +
                     std::string("register pressure exceeds file");
+    if (cache)
+        cache->storeResult(result_key, res);
     return res;
 }
 

@@ -29,6 +29,8 @@
 namespace vvsp
 {
 
+class ExperimentCache;
+
 /** One Table 1/2 cell to evaluate. */
 struct ExperimentRequest
 {
@@ -60,8 +62,13 @@ struct ExperimentResult
     std::string note;
 };
 
-/** Run one cell. */
-ExperimentResult runExperiment(const ExperimentRequest &req);
+/**
+ * Run one cell. With a cache, the lowered function and the whole
+ * result are memoized by content key (see experiment_cache.hh);
+ * cached and uncached evaluations produce identical results.
+ */
+ExperimentResult runExperiment(const ExperimentRequest &req,
+                               ExperimentCache *cache = nullptr);
 
 /**
  * Lower a variant's IR for a machine (steps 1-3 above) without

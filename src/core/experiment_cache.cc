@@ -1,0 +1,132 @@
+#include "core/experiment_cache.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+/**
+ * Serialize every architectural field of a config. The display name
+ * is excluded on purpose: two differently-named models with the same
+ * parameters are the same machine to the pipeline.
+ */
+void
+appendMachineKey(std::ostream &os, const DatapathConfig &cfg)
+{
+    const ClusterConfig &cl = cfg.cluster;
+    os << cfg.clusters << ',' << cl.issueSlots << ',' << cl.numAlus
+       << ',' << cl.numMultipliers << ',' << cl.numShifters << ','
+       << cl.numLoadStoreUnits << ',' << cl.registers << ','
+       << cl.regFilePorts << ',' << cl.localMemBytes << ','
+       << cl.memBanks << ',' << cl.memPortsPerBank << ','
+       << cl.memModuleBytes << ',' << cl.fastMemoryCell << ','
+       << cl.hasAbsDiff << ',' << cfg.pipelineStages << ','
+       << static_cast<int>(cfg.addressing) << ','
+       << static_cast<int>(cfg.multiplier) << ','
+       << cfg.crossbarPortsPerCluster << ',' << cfg.icacheInstructions
+       << ',' << cfg.icacheRefillCycles << ',' << cfg.crossbarDriverUm
+       << ',' << cfg.multiplyStages;
+}
+
+} // anonymous namespace
+
+std::string
+ExperimentCache::loweringKey(const ExperimentRequest &req,
+                             const DatapathConfig &cfg)
+{
+    vvsp_assert(req.kernel && req.variant, "incomplete request");
+    std::ostringstream os;
+    os << req.kernel->name << '|' << req.variant->name << '|';
+    appendMachineKey(os, cfg);
+    return os.str();
+}
+
+std::string
+ExperimentCache::resultKey(const ExperimentRequest &req,
+                           const DatapathConfig &cfg)
+{
+    std::ostringstream os;
+    os << loweringKey(req, cfg) << '|' << req.geometry.width << 'x'
+       << req.geometry.height << '|' << req.profileUnits << '|'
+       << req.seed << '|' << req.check;
+    return os.str();
+}
+
+Function
+ExperimentCache::lowerCached(const std::string &key,
+                             const KernelSpec &kernel,
+                             const VariantSpec &variant,
+                             const MachineModel &machine)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = lowered_.find(key);
+        if (it != lowered_.end()) {
+            ++stats_.loweredHits;
+            return it->second.clone();
+        }
+        ++stats_.loweredMisses;
+    }
+    // Lower outside the lock so concurrent misses on *different*
+    // cells proceed in parallel; a duplicate miss on the same cell
+    // just does the work twice and the first insert wins.
+    Function fn = lowerVariant(kernel, variant, machine);
+    std::lock_guard<std::mutex> lock(mutex_);
+    lowered_.try_emplace(key, fn.clone());
+    return fn;
+}
+
+bool
+ExperimentCache::findResult(const std::string &key,
+                            const std::string &model_name,
+                            ExperimentResult &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = results_.find(key);
+    if (it == results_.end()) {
+        ++stats_.resultMisses;
+        return false;
+    }
+    ++stats_.resultHits;
+    out = it->second;
+    out.model = model_name;
+    return true;
+}
+
+void
+ExperimentCache::storeResult(const std::string &key,
+                             const ExperimentResult &res)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_.try_emplace(key, res);
+}
+
+ExperimentCacheStats
+ExperimentCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ExperimentCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lowered_.clear();
+    results_.clear();
+    stats_ = ExperimentCacheStats{};
+}
+
+ExperimentCache &
+ExperimentCache::global()
+{
+    static ExperimentCache cache;
+    return cache;
+}
+
+} // namespace vvsp

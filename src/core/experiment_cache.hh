@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Content-keyed memoization for the experiment pipeline.
+ *
+ * Many cells of the 180-cell sweep repeat work: Table 2 re-runs
+ * Table 1 variants on shared models, the conclusions bench revisits
+ * the best schedules, and the design explorer scores hundreds of
+ * configs with one kernel. The cache keys on *content* - kernel,
+ * variant, every model-relevant architectural parameter (the model's
+ * display name is deliberately excluded), frame geometry, profiled
+ * units, seed, and the check flag - so identical work is recognized
+ * no matter which named model or harness asked for it.
+ *
+ * Two levels:
+ *  1. lowered-function cache: the machine-dependent lowering of a
+ *     (kernel, variant, machine) triple, reused across geometries
+ *     and profile depths; hits hand out a deep clone because the
+ *     composer appends materialized loop control to the function;
+ *  2. result cache: the complete ExperimentResult of a cell
+ *     (interpreter profile folded into the composed schedule), with
+ *     only the display model name patched per request.
+ *
+ * All methods are thread-safe; the sweep runner's workers share one
+ * instance.
+ */
+
+#ifndef VVSP_CORE_EXPERIMENT_CACHE_HH
+#define VVSP_CORE_EXPERIMENT_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/experiment.hh"
+
+namespace vvsp
+{
+
+/** Hit/miss counters (one snapshot; totals since construction). */
+struct ExperimentCacheStats
+{
+    uint64_t loweredHits = 0;
+    uint64_t loweredMisses = 0;
+    uint64_t resultHits = 0;
+    uint64_t resultMisses = 0;
+};
+
+/** Thread-safe memo cache for lowered functions and cell results. */
+class ExperimentCache
+{
+  public:
+    ExperimentCache() = default;
+
+    ExperimentCache(const ExperimentCache &) = delete;
+    ExperimentCache &operator=(const ExperimentCache &) = delete;
+
+    /**
+     * Content key of the machine-dependent lowering of a request
+     * (kernel, variant, architectural parameters - not the model
+     * name). `cfg` must be the effective config the cell runs on
+     * (i.e. after any variant-forced upgrades).
+     */
+    static std::string loweringKey(const ExperimentRequest &req,
+                                   const DatapathConfig &cfg);
+
+    /** Content key of a whole cell (lowering key + run parameters). */
+    static std::string resultKey(const ExperimentRequest &req,
+                                 const DatapathConfig &cfg);
+
+    /**
+     * Return a deep clone of the cached lowered function, or lower
+     * now (via lowerVariant) and cache the prototype.
+     */
+    Function lowerCached(const std::string &key,
+                         const KernelSpec &kernel,
+                         const VariantSpec &variant,
+                         const MachineModel &machine);
+
+    /** Look up a finished cell; patches res.model to `model_name`. */
+    bool findResult(const std::string &key,
+                    const std::string &model_name,
+                    ExperimentResult &out);
+
+    /** Record a finished cell (first writer wins). */
+    void storeResult(const std::string &key,
+                     const ExperimentResult &res);
+
+    ExperimentCacheStats stats() const;
+
+    /** Drop all entries and zero the counters. */
+    void clear();
+
+    /** Process-wide shared instance. */
+    static ExperimentCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Function> lowered_;
+    std::unordered_map<std::string, ExperimentResult> results_;
+    ExperimentCacheStats stats_;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_CORE_EXPERIMENT_CACHE_HH

@@ -1,0 +1,27 @@
+#include "core/sweep.hh"
+
+namespace vvsp
+{
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : pool_(opts.threads),
+      cache_(opts.useCache
+                 ? (opts.cache ? opts.cache : &ExperimentCache::global())
+                 : nullptr)
+{
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<ExperimentRequest> &requests)
+{
+    std::vector<ExperimentResult> results(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        pool_.submit([this, &requests, &results, i] {
+            results[i] = runExperiment(requests[i], cache_);
+        });
+    }
+    pool_.wait();
+    return results;
+}
+
+} // namespace vvsp

@@ -20,6 +20,8 @@
 #include "arch/models.hh"
 #include "core/design_space.hh"
 #include "core/experiment.hh"
+#include "core/experiment_cache.hh"
+#include "core/sweep.hh"
 #include "ir/builder.hh"
 #include "ir/dependence_graph.hh"
 #include "ir/function.hh"
@@ -37,6 +39,7 @@
 #include "support/random.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "video/bitstream.hh"
 #include "video/frame.hh"
 #include "video/mpeg.hh"

@@ -22,6 +22,7 @@
 #include "ir/builder.hh"
 
 #include <map>
+#include <mutex>
 
 #include "support/logging.hh"
 #include "video/synthetic.hh"
@@ -247,7 +248,11 @@ goldenCsc(const Function &fn, MemoryImage &mem)
 const RgbFrame &
 rgbFor(const FrameGeometry &geom)
 {
+    // Shared across sweep workers; map nodes are stable, so the
+    // reference stays valid after the lock is released.
     static std::map<std::pair<int, int>, RgbFrame> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(geom.width, geom.height);
     auto it = cache.find(key);
     if (it == cache.end()) {

@@ -31,6 +31,7 @@
 #include <array>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "support/logging.hh"
 #include "video/synthetic.hh"
@@ -569,7 +570,11 @@ goldenTraditionalOpt(const Function &fn, MemoryImage &mem)
 const Plane &
 lumaFor(const FrameGeometry &geom)
 {
+    // Shared across sweep workers; map nodes are stable, so the
+    // reference stays valid after the lock is released.
     static std::map<std::pair<int, int>, Plane> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(geom.width, geom.height);
     auto it = cache.find(key);
     if (it == cache.end()) {

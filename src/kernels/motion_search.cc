@@ -26,6 +26,7 @@
 
 #include <array>
 #include <map>
+#include <mutex>
 
 #include "support/logging.hh"
 #include "video/mpeg.hh"
@@ -451,7 +452,11 @@ struct FramePair
 const FramePair &
 framesFor(const FrameGeometry &geom)
 {
+    // Shared across sweep workers; map nodes are stable, so the
+    // reference stays valid after the lock is released.
     static std::map<std::pair<int, int>, FramePair> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(geom.width, geom.height);
     auto it = cache.find(key);
     if (it == cache.end()) {

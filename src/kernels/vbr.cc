@@ -26,6 +26,7 @@
 #include <array>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "support/logging.hh"
 #include "video/mpeg.hh"
@@ -307,9 +308,13 @@ goldenVbrPhase(const Function &fn, MemoryImage &mem)
 const std::vector<std::vector<uint16_t>> &
 coefBlocksFor(const FrameGeometry &geom)
 {
+    // Shared across sweep workers; map nodes are stable, so the
+    // reference stays valid after the lock is released.
     static std::map<std::pair<int, int>,
                     std::vector<std::vector<uint16_t>>>
         cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_pair(geom.width, geom.height);
     auto it = cache.find(key);
     if (it != cache.end())

@@ -1,7 +1,7 @@
 #include "sim/cycle_sim.hh"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
 #include "ir/dependence_graph.hh"
 #include "kernels/composer.hh"
@@ -29,11 +29,27 @@ struct CycleSim::Engine
     std::vector<uint16_t> regs;
     std::vector<Operation> pending;
 
-    /** Schedule cache, keyed by the group's first op id and size. */
-    std::map<std::pair<int, size_t>, BlockSchedule> acyclicCache;
-    std::map<int, BlockSchedule> moduloCache;       // by loop node id.
-    std::map<int, std::vector<Operation>> ctrlCache; // by loop id.
-    std::map<int, std::vector<Operation>> swpOpsCache;
+    /** Hash for the acyclic-cache key (first op id, group size). */
+    struct GroupKeyHash
+    {
+        size_t
+        operator()(const std::pair<int, size_t> &k) const
+        {
+            // Op ids and sizes are small; golden-ratio mix is enough.
+            return std::hash<size_t>()(
+                static_cast<size_t>(k.first) * 0x9e3779b97f4a7c15ull +
+                k.second);
+        }
+    };
+
+    /** Schedule cache, keyed by the group's first op id and size.
+     *  Hit once per executed group - hot enough to want O(1). */
+    std::unordered_map<std::pair<int, size_t>, BlockSchedule,
+                       GroupKeyHash>
+        acyclicCache;
+    std::unordered_map<int, BlockSchedule> moduloCache; // by loop id.
+    std::unordered_map<int, std::vector<Operation>> ctrlCache;
+    std::unordered_map<int, std::vector<Operation>> swpOpsCache;
 
     enum class Flow { Normal, Break };
 
@@ -190,17 +206,12 @@ struct CycleSim::Engine
         }
         const BlockSchedule &sched = it->second;
 
-        // Execute in issue order, reads-before-writes within a cycle.
+        // Execute in issue order; program order within a cycle is
+        // safe: anti-dependences always point forward in program
+        // order.
         std::vector<size_t> order(pending.size());
         for (size_t i = 0; i < order.size(); ++i)
             order[i] = i;
-        std::stable_sort(order.begin(), order.end(),
-                         [&sched](size_t a, size_t b) {
-                             return sched.placed[a].cycle <
-                                    sched.placed[b].cycle;
-                         });
-        // Program order within a cycle is safe: anti-dependences
-        // always point forward in program order.
         std::stable_sort(order.begin(), order.end(),
                          [&sched](size_t a, size_t b) {
                              if (sched.placed[a].cycle !=

@@ -1,0 +1,80 @@
+#include "support/thread_pool.hh"
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+int
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = threads > 0 ? threads : hardwareThreads();
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    vvsp_assert(task != nullptr, "null task submitted to pool");
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        vvsp_assert(!stopping_, "submit() on a stopping pool");
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace vvsp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-size worker pool with a FIFO work queue.
+ *
+ * The sweep engine's execution substrate: a small, dependency-free
+ * pool that runs submitted tasks on a fixed set of worker threads
+ * and lets the producer block until the queue has fully drained.
+ * Tasks must not throw (the library reports errors through
+ * panic/fatal, which terminate the process).
+ */
+
+#ifndef VVSP_SUPPORT_THREAD_POOL_HH
+#define VVSP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vvsp
+{
+
+/** Fixed-size thread pool with a shared FIFO queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers; `threads <= 0` uses the hardware
+     * concurrency (at least one worker either way).
+     */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a task; runs on some worker in FIFO dispatch order. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Detected hardware concurrency (at least 1). */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allIdle_;
+    size_t running_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SUPPORT_THREAD_POOL_HH

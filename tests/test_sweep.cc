@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Sweep engine tests: thread-pool mechanics, memo-cache bit-identity
+ * (a cell evaluated twice returns the exact same result, and the
+ * stats prove the second evaluation was a hit), and determinism of
+ * the parallel runner (the full Table 1 grid yields identical
+ * cycles-per-frame at 1 and N threads, with and without the cache).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "arch/models.hh"
+#include "core/sweep.hh"
+
+namespace vvsp
+{
+namespace
+{
+
+/** The full Table 1 grid, row major, one profiled unit per cell. */
+std::vector<ExperimentRequest>
+table1Grid()
+{
+    static const std::vector<DatapathConfig> models_list =
+        models::table1Models();
+    std::vector<ExperimentRequest> reqs;
+    for (const KernelSpec &k : allKernels()) {
+        for (const VariantSpec &v : k.variants) {
+            for (const DatapathConfig &m : models_list) {
+                ExperimentRequest req;
+                req.kernel = &k;
+                req.variant = &v;
+                req.model = m;
+                req.profileUnits = 1;
+                reqs.push_back(req);
+            }
+        }
+    }
+    return reqs;
+}
+
+void
+expectBitIdentical(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.cyclesPerUnit, b.cyclesPerUnit);
+    EXPECT_EQ(a.cyclesPerFrame, b.cyclesPerFrame);
+    EXPECT_EQ(a.unitsPerFrame, b.unitsPerFrame);
+    EXPECT_EQ(a.replication, b.replication);
+    EXPECT_EQ(a.checked, b.checked);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.note, b.note);
+    EXPECT_EQ(a.comp.cyclesPerUnit, b.comp.cyclesPerUnit);
+    EXPECT_EQ(a.comp.totalInstructions, b.comp.totalInstructions);
+    EXPECT_EQ(a.comp.hotLoopInstructions, b.comp.hotLoopInstructions);
+    EXPECT_EQ(a.comp.maxLive, b.comp.maxLive);
+    EXPECT_EQ(a.comp.icacheOk, b.comp.icacheOk);
+    EXPECT_EQ(a.comp.registersOk, b.comp.registersOk);
+    EXPECT_EQ(a.comp.opsPerUnit, b.comp.opsPerUnit);
+    ASSERT_EQ(a.comp.regions.size(), b.comp.regions.size());
+    for (size_t i = 0; i < a.comp.regions.size(); ++i) {
+        const RegionCost &ra = a.comp.regions[i];
+        const RegionCost &rb = b.comp.regions[i];
+        EXPECT_EQ(ra.label, rb.label) << i;
+        EXPECT_EQ(ra.execCount, rb.execCount) << i;
+        EXPECT_EQ(ra.length, rb.length) << i;
+        EXPECT_EQ(ra.ii, rb.ii) << i;
+        EXPECT_EQ(ra.cycles, rb.cycles) << i;
+        EXPECT_EQ(ra.instructions, rb.instructions) << i;
+        EXPECT_EQ(ra.maxLive, rb.maxLive) << i;
+    }
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+
+    std::atomic<int> done{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 200);
+
+    // The pool is reusable after a wait().
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 250);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+    EXPECT_GE(pool.threadCount(), 1);
+}
+
+TEST(ExperimentCacheTest, SecondEvaluationIsABitIdenticalHit)
+{
+    const KernelSpec &k = kernelByName("Full Motion Search");
+    ExperimentRequest req;
+    req.kernel = &k;
+    req.variant = &k.variant("Blocking/Loop Exchange");
+    req.model = models::byName("I4C8S4");
+    req.profileUnits = 2;
+
+    ExperimentCache cache;
+    SweepOptions opts;
+    opts.cache = &cache;
+    SweepRunner runner(opts);
+
+    ExperimentResult first = runner.run({req})[0];
+    ExperimentCacheStats s1 = cache.stats();
+    EXPECT_EQ(s1.resultHits, 0u);
+    EXPECT_EQ(s1.resultMisses, 1u);
+    EXPECT_EQ(s1.loweredMisses, 1u);
+
+    ExperimentResult second = runner.run({req})[0];
+    ExperimentCacheStats s2 = cache.stats();
+    EXPECT_EQ(s2.resultHits, 1u);
+    EXPECT_EQ(s2.resultMisses, 1u);
+
+    EXPECT_TRUE(first.passed);
+    expectBitIdentical(first, second);
+
+    // And the cached result is bit-identical to an uncached serial
+    // evaluation of the same cell.
+    expectBitIdentical(first, runExperiment(req));
+}
+
+TEST(ExperimentCacheTest, KeysOnContentNotOnModelName)
+{
+    const KernelSpec &k = kernelByName("DCT - row/column");
+    ExperimentRequest req;
+    req.kernel = &k;
+    req.variant = &k.variant("List Scheduled");
+    req.model = models::byName("I2C16S4");
+    req.profileUnits = 1;
+
+    ExperimentCache cache;
+    SweepOptions opts;
+    opts.cache = &cache;
+    SweepRunner runner(opts);
+    ExperimentResult first = runner.run({req})[0];
+
+    // Same architecture under a different display name: a full hit,
+    // with only the name patched.
+    ExperimentRequest renamed = req;
+    renamed.model.name = "I2C16S4 (copy)";
+    ExperimentResult second = runner.run({renamed})[0];
+    EXPECT_EQ(cache.stats().resultHits, 1u);
+    EXPECT_EQ(second.model, "I2C16S4 (copy)");
+    EXPECT_EQ(first.cyclesPerFrame, second.cyclesPerFrame);
+
+    // A real architectural change misses.
+    ExperimentRequest changed = req;
+    changed.model.cluster.registers *= 2;
+    runner.run({changed});
+    EXPECT_EQ(cache.stats().resultMisses, 2u);
+}
+
+TEST(SweepRunnerTest, Table1GridIsDeterministicAcrossThreadCounts)
+{
+    std::vector<ExperimentRequest> grid = table1Grid();
+    ASSERT_GE(grid.size(), 100u);
+
+    SweepOptions serial_opts;
+    serial_opts.threads = 1;
+    serial_opts.useCache = false;
+    SweepRunner serial(serial_opts);
+    std::vector<ExperimentResult> base = serial.run(grid);
+
+    // The pooled run goes through a (private, cold) cache, so this
+    // single pass checks both parallel determinism and the cached
+    // code path against the 1-thread uncached reference.
+    ExperimentCache cache;
+    SweepOptions pooled_opts;
+    pooled_opts.threads = 8;
+    pooled_opts.cache = &cache;
+    SweepRunner pooled(pooled_opts);
+    std::vector<ExperimentResult> par = pooled.run(grid);
+
+    ASSERT_EQ(base.size(), grid.size());
+    ASSERT_EQ(par.size(), grid.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+        // Results arrive in request order whatever the thread count,
+        // and each cell is bit-identical to the 1-thread run.
+        EXPECT_EQ(base[i].kernel, grid[i].kernel->name) << i;
+        EXPECT_EQ(base[i].model, grid[i].model.name) << i;
+        EXPECT_EQ(par[i].cyclesPerFrame, base[i].cyclesPerFrame)
+            << i << ": " << base[i].kernel << "/" << base[i].variant
+            << "/" << base[i].model;
+        EXPECT_EQ(par[i].cyclesPerUnit, base[i].cyclesPerUnit) << i;
+        EXPECT_EQ(par[i].passed, base[i].passed) << i;
+        EXPECT_EQ(par[i].model, base[i].model) << i;
+    }
+}
+
+} // namespace
+} // namespace vvsp
