@@ -12,6 +12,10 @@
  *   --json         machine-readable cell dump instead of the table
  *   --threads=N    worker threads (default: hardware concurrency)
  *   --no-cache     disable the memo cache
+ *   --stats        print the run's stats registry (--stats=json for
+ *                  the JSON form) after the table
+ *   --trace=FILE   write a Chrome trace_event timeline of the sweep
+ *                  (load in chrome://tracing or Perfetto)
  */
 
 #ifndef VVSP_BENCH_TABLE_COMMON_HH
@@ -26,6 +30,8 @@
 #include "arch/models.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "support/table.hh"
 
 namespace vvsp
@@ -46,6 +52,9 @@ struct TableOptions
     bool json = false;
     int threads = 0; ///< 0 = hardware concurrency.
     bool cache = true;
+    bool stats = false;     ///< print the stats registry after runs.
+    bool statsJson = false; ///< ... in JSON form.
+    std::string traceFile;  ///< trace_event output path ("" = off).
 };
 
 inline TableOptions
@@ -69,16 +78,76 @@ parseTableArgs(int argc, char **argv)
             opts.threads = static_cast<int>(n);
         } else if (std::strcmp(a, "--no-cache") == 0) {
             opts.cache = false;
+        } else if (std::strcmp(a, "--stats") == 0) {
+            opts.stats = true;
+        } else if (std::strcmp(a, "--stats=json") == 0) {
+            opts.stats = true;
+            opts.statsJson = true;
+        } else if (std::strncmp(a, "--trace=", 8) == 0 &&
+                   a[8] != '\0') {
+            opts.traceFile = a + 8;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json] [--threads=N] "
-                         "[--no-cache]\n",
+                         "[--no-cache] [--stats[=json]] "
+                         "[--trace=FILE]\n",
                          argv[0]);
             std::exit(2);
         }
     }
     return opts;
 }
+
+/**
+ * Per-process observability sinks for a table binary: one registry
+ * and one trace shared by every kernel section the binary runs, with
+ * emission on destruction. Wire `sinks.configure(sopts)` into each
+ * SweepOptions.
+ */
+class TableObservability
+{
+  public:
+    explicit TableObservability(const TableOptions &opts)
+        : opts_(opts)
+    {
+    }
+
+    ~TableObservability()
+    {
+        if (opts_.stats) {
+            std::string body = opts_.statsJson ? stats_.json() + "\n"
+                                               : stats_.str();
+            std::fputs("\n== stats ==\n", stdout);
+            std::fputs(body.c_str(), stdout);
+        }
+        if (!opts_.traceFile.empty() &&
+            trace_.write(opts_.traceFile)) {
+            std::fprintf(stderr,
+                         "trace: wrote %zu slices to %s (load in "
+                         "chrome://tracing)\n",
+                         trace_.sliceCount(),
+                         opts_.traceFile.c_str());
+        }
+    }
+
+    /** Point a sweep's stats/trace fields at these sinks. */
+    void
+    configure(SweepOptions &sopts)
+    {
+        if (opts_.stats)
+            sopts.stats = &stats_;
+        if (!opts_.traceFile.empty())
+            sopts.trace = &trace_;
+    }
+
+    obs::StatsRegistry &stats() { return stats_; }
+    obs::TraceWriter &trace() { return trace_; }
+
+  private:
+    TableOptions opts_;
+    obs::StatsRegistry stats_;
+    obs::TraceWriter trace_;
+};
 
 /** JSON string escaping for the names we emit (quotes/backslash). */
 inline std::string
@@ -150,9 +219,13 @@ runKernelTable(const std::string &kernel_name,
         }
     }
 
+    // One sink pair per process: sections of a multi-table binary
+    // aggregate into the same registry/trace, emitted at exit.
+    static TableObservability sinks(opts);
     SweepOptions sopts;
     sopts.threads = opts.threads;
     sopts.useCache = opts.cache;
+    sinks.configure(sopts);
     SweepRunner runner(sopts);
     std::vector<ExperimentResult> results = runner.run(requests);
 

@@ -144,12 +144,14 @@ main()
 
         ClockEstimator clock;
         double mhz = clock.clockMhz(model);
-        std::printf("%-11s %6.0f cycles for %d outputs "
+        std::printf("%-11s %6llu cycles for %d outputs "
                     "(%.2f cycles/output, %.2f ops/cycle, "
                     "%.1f Msamples/s at %.0f MHz) - output ok\n",
-                    model_name, rep.cycles, kSamples,
-                    rep.cycles / kSamples,
-                    rep.operations / rep.cycles,
+                    model_name,
+                    static_cast<unsigned long long>(rep.cycles),
+                    kSamples,
+                    static_cast<double>(rep.cycles) / kSamples,
+                    static_cast<double>(rep.operations) / rep.cycles,
                     kSamples * mhz / rep.cycles, mhz);
     }
     std::printf("\nThe M16 model shows Table 2's effect: one 2-cycle "

@@ -63,10 +63,11 @@ main()
     }
     CycleSim sim(machine, ScheduleMode::Swp);
     CycleSimReport rep = sim.run(fn, mem2);
-    std::printf("cycle sim:   out = %u in %.0f cycles "
+    std::printf("cycle sim:   out = %u in %llu cycles "
                 "(%.2f ops/cycle on %s)\n",
-                mem2.read(obuf, 0), rep.cycles,
-                rep.operations / rep.cycles,
+                mem2.read(obuf, 0),
+                static_cast<unsigned long long>(rep.cycles),
+                static_cast<double>(rep.operations) / rep.cycles,
                 machine.name().c_str());
 
     if (mem.read(obuf, 0) != mem2.read(obuf, 0)) {

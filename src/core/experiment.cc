@@ -1,16 +1,61 @@
 #include "core/experiment.hh"
 
+#include <chrono>
 #include <map>
 
 #include "arch/models.hh"
 #include "core/experiment_cache.hh"
 #include "ir/verifier.hh"
+#include "obs/stats_registry.hh"
 #include "sched/cluster_assign.hh"
 #include "support/logging.hh"
 #include "xform/passes.hh"
 
 namespace vvsp
 {
+
+namespace
+{
+
+uint64_t
+countOps(Function &fn)
+{
+    uint64_t n = 0;
+    passes::forEachBlock(fn,
+                         [&n](BlockNode &b) { n += b.ops.size(); });
+    return n;
+}
+
+/**
+ * Run one lowering pass, recording wall time and IR op counts under
+ * "xform/<name>" when the global stats registry is installed. The op
+ * counts are deterministic; the "wall_us" samples are, of course,
+ * not (stats consumers that assert determinism skip *_us paths).
+ */
+template <typename Body>
+void
+timedPass(const obs::StatsScope &xform, const char *name,
+          Function &fn, Body &&body)
+{
+    if (!xform.enabled()) {
+        body();
+        return;
+    }
+    uint64_t before = countOps(fn);
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    auto t1 = std::chrono::steady_clock::now();
+    obs::StatsScope p = xform.scope(name);
+    p.bump("runs");
+    p.sample("wall_us",
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 t1 - t0)
+                 .count());
+    p.sample("ops_in", before);
+    p.sample("ops_out", countOps(fn));
+}
+
+} // anonymous namespace
 
 void
 assignBanks(Function &fn, const MachineModel &machine)
@@ -46,11 +91,16 @@ lowerVariant(const KernelSpec &kernel, const VariantSpec &variant,
         verifyOrDie(fn);
     }
 
-    passes::cleanup(fn);
-    passes::strengthReduce(fn);
-    passes::decomposeMultiplies(fn, machine);
-    passes::lowerAddressing(fn, machine);
-    passes::cleanup(fn);
+    obs::StatsScope xform = obs::globalScope("xform");
+    xform.bump("lowerings");
+    timedPass(xform, "cleanup", fn, [&] { passes::cleanup(fn); });
+    timedPass(xform, "strength_reduce", fn,
+              [&] { passes::strengthReduce(fn); });
+    timedPass(xform, "decompose_multiplies", fn,
+              [&] { passes::decomposeMultiplies(fn, machine); });
+    timedPass(xform, "lower_addressing", fn,
+              [&] { passes::lowerAddressing(fn, machine); });
+    timedPass(xform, "cleanup", fn, [&] { passes::cleanup(fn); });
     fn.renumberAll();
     verifyOrDie(fn);
 
@@ -64,11 +114,16 @@ lowerVariant(const KernelSpec &kernel, const VariantSpec &variant,
                     hand_assigned = true;
             }
         });
-        if (!hand_assigned)
-            autoPartition(fn, machine, std::min(gang,
-                                                machine.clusters()));
-        replicateReadOnlyBuffers(fn);
-        insertTransfers(fn);
+        if (!hand_assigned) {
+            timedPass(xform, "auto_partition", fn, [&] {
+                autoPartition(fn, machine,
+                              std::min(gang, machine.clusters()));
+            });
+        }
+        timedPass(xform, "replicate_buffers", fn,
+                  [&] { replicateReadOnlyBuffers(fn); });
+        timedPass(xform, "insert_transfers", fn,
+                  [&] { insertTransfers(fn); });
         fn.renumberAll();
         verifyOrDie(fn);
     }

@@ -25,6 +25,12 @@
 namespace vvsp
 {
 
+namespace obs
+{
+class StatsRegistry;
+class TraceWriter;
+} // namespace obs
+
 /** Sweep engine configuration. */
 struct SweepOptions
 {
@@ -37,6 +43,20 @@ struct SweepOptions
      * when useCache is false.
      */
     ExperimentCache *cache = nullptr;
+    /**
+     * When set, installed as the global stats registry for the
+     * duration of each run() so the pipeline's instrumentation sites
+     * (xform pass timing, scheduler II telemetry) record into it,
+     * and per-batch sweep counters are recorded. Null: zero-cost off.
+     */
+    obs::StatsRegistry *stats = nullptr;
+    /**
+     * When set, each run() renders a batch timeline into it: one
+     * trace track per pool worker, one slice per experiment cell.
+     */
+    obs::TraceWriter *trace = nullptr;
+    /** Trace process id for this runner's timeline track group. */
+    int tracePid = 1;
 };
 
 /** Runs batches of experiment cells on a shared worker pool. */
@@ -60,6 +80,9 @@ class SweepRunner
   private:
     ThreadPool pool_;
     ExperimentCache *cache_ = nullptr;
+    obs::StatsRegistry *stats_ = nullptr;
+    obs::TraceWriter *trace_ = nullptr;
+    int tracePid_ = 1;
 };
 
 } // namespace vvsp

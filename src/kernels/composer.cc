@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/stats_registry.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo_scheduler.hh"
 #include "support/logging.hh"
@@ -232,6 +233,23 @@ struct Composer::Walker
             ops.insert(ops.end(), ctrl.begin(), ctrl.end());
             BlockSchedule sched =
                 msched.schedule(ops, machine.registersPerCluster());
+            obs::StatsScope swp = obs::globalScope("sched/swp");
+            if (swp.enabled()) {
+                // Achieved II against both lower bounds, so reports
+                // can tell resource-bound loops from recurrence-bound
+                // ones and spot schedules that missed the MII.
+                int res_mii = msched.resourceMii(ops);
+                DependenceGraph ddg(ops, machine.latencyFn(), true);
+                int rec_mii = ddg.recurrenceMii();
+                int mii = std::max(res_mii, rec_mii);
+                swp.bump("loops");
+                swp.sample("ii", sched.ii);
+                swp.sample("res_mii", res_mii);
+                swp.sample("rec_mii", rec_mii);
+                swp.sample("ii_slack", sched.ii - mii);
+                if (sched.ii == mii)
+                    swp.bump("ii_optimal");
+            }
             RegionCost rc;
             rc.label = "swp:" + loop.label;
             rc.execCount = iters;

@@ -5,6 +5,7 @@
 
 #include "ir/dependence_graph.hh"
 #include "kernels/composer.hh"
+#include "obs/sim_telemetry.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo_scheduler.hh"
 #include "sched/reservation_table.hh"
@@ -50,6 +51,18 @@ struct CycleSim::Engine
     std::unordered_map<int, BlockSchedule> moduloCache; // by loop id.
     std::unordered_map<int, std::vector<Operation>> ctrlCache;
     std::unordered_map<int, std::vector<Operation>> swpOpsCache;
+
+    /** Telemetry sink; null when the run is uninstrumented. */
+    obs::GroupTelemetry *telem = nullptr;
+    /** Schedule-diagram sink; null when tracing is off. */
+    obs::TraceWriter *trace = nullptr;
+    int *tracePid = nullptr;
+    const std::string *traceLabel = nullptr;
+    /** Per-group utilization profiles, cached like the schedules. */
+    std::unordered_map<std::pair<int, size_t>, obs::GroupTelemetry,
+                       GroupKeyHash>
+        acyclicTelem;
+    std::unordered_map<int, obs::GroupTelemetry> moduloTelem;
 
     enum class Flow { Normal, Break };
 
@@ -202,6 +215,13 @@ struct CycleSim::Engine
         if (it == acyclicCache.end()) {
             BlockSchedule sched = lsched.schedule(pending, width1);
             verifySchedule(pending, sched, width1);
+            if (trace) {
+                obs::scheduleToTrace(
+                    *trace, (*tracePid)++,
+                    *traceLabel + "/group@op" +
+                        std::to_string(key.first),
+                    pending, sched, machine);
+            }
             it = acyclicCache.emplace(key, std::move(sched)).first;
         }
         const BlockSchedule &sched = it->second;
@@ -224,7 +244,20 @@ struct CycleSim::Engine
         for (size_t i : order)
             execute(pending[i]);
 
-        report.cycles += sched.length;
+        if (telem) {
+            auto tit = acyclicTelem.find(key);
+            if (tit == acyclicTelem.end()) {
+                tit = acyclicTelem
+                          .emplace(key,
+                                   obs::analyzeSchedule(
+                                       pending, sched, machine,
+                                       bankOf))
+                          .first;
+            }
+            telem->addScaled(tit->second, 1);
+        }
+
+        report.cycles += static_cast<uint64_t>(sched.length);
         report.instructions +=
             static_cast<uint64_t>(sched.length);
         pending.clear();
@@ -282,6 +315,12 @@ struct CycleSim::Engine
             BlockSchedule sched =
                 msched.schedule(ops, machine.registersPerCluster());
             verifySchedule(ops, sched, false);
+            if (trace) {
+                obs::scheduleToTrace(*trace, (*tracePid)++,
+                                     *traceLabel + "/swp:" +
+                                         loop.label,
+                                     ops, sched, machine);
+            }
             mit = moduloCache.emplace(loop.id, std::move(sched)).first;
         }
         const BlockSchedule &sched = mit->second;
@@ -295,10 +334,27 @@ struct CycleSim::Engine
             for (const auto &op : ops)
                 execute(op);
         }
+        if (telem && loop.tripCount > 0) {
+            auto tit = moduloTelem.find(loop.id);
+            if (tit == moduloTelem.end()) {
+                tit = moduloTelem
+                          .emplace(loop.id,
+                                   obs::analyzeSchedule(
+                                       ops, sched, machine, bankOf))
+                          .first;
+            }
+            telem->addScaled(
+                tit->second,
+                static_cast<uint64_t>(loop.tripCount));
+            uint64_t ramp = static_cast<uint64_t>(
+                sched.prologueCycles() + sched.epilogueCycles());
+            if (ramp > 0)
+                telem->addScaled(obs::idleWindow(machine, ramp), 1);
+        }
         report.cycles +=
-            sched.prologueCycles() +
-            static_cast<double>(sched.ii) * loop.tripCount +
-            sched.epilogueCycles();
+            static_cast<uint64_t>(sched.prologueCycles()) +
+            static_cast<uint64_t>(sched.ii) * loop.tripCount +
+            static_cast<uint64_t>(sched.epilogueCycles());
         report.instructions += static_cast<uint64_t>(
             sched.ii * loop.tripCount);
     }
@@ -392,12 +448,19 @@ CycleSim::CycleSim(const MachineModel &machine, ScheduleMode mode)
 }
 
 CycleSimReport
-CycleSim::run(Function &fn, MemoryImage &mem)
+CycleSim::run(Function &fn, MemoryImage &mem,
+              obs::GroupTelemetry *telemetry)
 {
     BankOfFn bank_of = [&fn](int buffer) {
         return fn.buffer(buffer).bank;
     };
     Engine engine(fn, machine_, mode_, mem, bank_of);
+    engine.telem = telemetry;
+    if (trace_) {
+        engine.trace = trace_;
+        engine.tracePid = &nextTracePid_;
+        engine.traceLabel = &traceLabel_;
+    }
     engine.runList(fn.body);
     engine.flush();
     return engine.report;

@@ -36,10 +36,20 @@
 namespace vvsp
 {
 
+namespace obs
+{
+struct GroupTelemetry;
+class TraceWriter;
+} // namespace obs
+
 /** Cycle-simulation outcome. */
 struct CycleSimReport
 {
-    double cycles = 0;          ///< total executed cycles.
+    /** Total executed cycles. Every contribution (block lengths,
+     *  II * trip counts, pipeline fill/drain) is integral, so the
+     *  count is exact; scale to frames/seconds at the reporting
+     *  boundary only. */
+    uint64_t cycles = 0;
     uint64_t operations = 0;    ///< operations executed (non-nop).
     uint64_t nullified = 0;     ///< predicated-off operations.
     uint64_t transfers = 0;     ///< crossbar transfers executed.
@@ -56,14 +66,42 @@ class CycleSim
      * Execute the function against the memory image (modified in
      * place). Panics on any timing or resource violation - those are
      * scheduler bugs by construction.
+     *
+     * When `telemetry` is non-null, utilization and stall telemetry
+     * is accumulated into it: each distinct group is analyzed once
+     * (alongside the schedule caches) and added weighted by its
+     * execution count, so the overhead is per-group, not per-cycle.
      */
-    CycleSimReport run(Function &fn, MemoryImage &mem);
+    CycleSimReport run(Function &fn, MemoryImage &mem,
+                       obs::GroupTelemetry *telemetry = nullptr);
+
+    /**
+     * Render each distinct scheduled group of subsequent run()s as a
+     * pipeline diagram in `trace` (one trace process per group, one
+     * track per issue slot, 1 cycle = 1 us). `label` prefixes the
+     * group names; process ids are taken from `first_pid` upward and
+     * advance across runs.
+     */
+    void
+    setTrace(obs::TraceWriter *trace, int first_pid,
+             std::string label)
+    {
+        trace_ = trace;
+        nextTracePid_ = first_pid;
+        traceLabel_ = std::move(label);
+    }
+
+    /** First unused trace process id after the runs so far. */
+    int nextTracePid() const { return nextTracePid_; }
 
   private:
     struct Engine;
 
     const MachineModel &machine_;
     ScheduleMode mode_;
+    obs::TraceWriter *trace_ = nullptr;
+    int nextTracePid_ = 0;
+    std::string traceLabel_;
 };
 
 } // namespace vvsp

@@ -2,10 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace vvsp
 {
+
+namespace
+{
+
+/**
+ * Serializes diagnostic lines. Each message is formatted into a
+ * string first and written with a single fprintf under this lock, so
+ * concurrent sweep workers never interleave partial lines. The fatal
+ * paths stay lock-free: they must not deadlock when reporting from a
+ * thread that died while logging.
+ */
+std::mutex log_mutex;
+
+} // anonymous namespace
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -38,6 +53,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stderr, "info: %s\n", s.c_str());
 }
 
@@ -48,6 +64,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vformat(fmt, ap);
     va_end(ap);
+    std::lock_guard<std::mutex> lock(log_mutex);
     std::fprintf(stderr, "warn: %s\n", s.c_str());
 }
 

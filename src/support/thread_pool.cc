@@ -5,6 +5,13 @@
 namespace vvsp
 {
 
+namespace
+{
+
+thread_local int tls_worker_index = -1;
+
+} // anonymous namespace
+
 int
 ThreadPool::hardwareThreads()
 {
@@ -12,12 +19,18 @@ ThreadPool::hardwareThreads()
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+int
+ThreadPool::currentWorkerIndex()
+{
+    return tls_worker_index;
+}
+
 ThreadPool::ThreadPool(int threads)
 {
     int n = threads > 0 ? threads : hardwareThreads();
     workers_.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -52,8 +65,9 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int index)
 {
+    tls_worker_index = index;
     for (;;) {
         std::function<void()> task;
         {

@@ -50,8 +50,15 @@ class ThreadPool
     /** Detected hardware concurrency (at least 1). */
     static int hardwareThreads();
 
+    /**
+     * Index of the pool worker running the calling thread, or -1
+     * when called off-pool. Lets instrumentation (the sweep's trace
+     * timeline) attribute work to a stable per-worker track.
+     */
+    static int currentWorkerIndex();
+
   private:
-    void workerLoop();
+    void workerLoop(int index);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -72,7 +72,7 @@ TEST_P(SimEquivalence, MatchesInterpreterAndComposer)
         EXPECT_EQ(mem.bufferWords(id), ref.bufferWords(id))
             << "buffer " << bname;
     }
-    EXPECT_NEAR(rep.cycles, comp.cyclesPerUnit,
+    EXPECT_NEAR(static_cast<double>(rep.cycles), comp.cyclesPerUnit,
                 1e-6 * comp.cyclesPerUnit + 0.5)
         << "composer predicted " << comp.cyclesPerUnit
         << " cycles, machine executed " << rep.cycles;
@@ -135,7 +135,8 @@ TEST(CycleSim, ReportsUtilizationCounters)
     EXPECT_GT(rep.instructions, 0u);
     // SAD over 256 displacements x 256 pixels dominates.
     EXPECT_GT(rep.operations, 300000u);
-    double ipc = rep.operations / rep.cycles;
+    double ipc = static_cast<double>(rep.operations) /
+                 static_cast<double>(rep.cycles);
     EXPECT_GT(ipc, 1.0); // software pipelining exploits width.
     (void)modeOf;
 }
