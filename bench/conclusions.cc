@@ -25,6 +25,7 @@
 #include "core/sweep.hh"
 #include "sim/cycle_sim.hh"
 #include "support/table.hh"
+#include "table_common.hh"
 #include "vlsi/area_estimator.hh"
 #include "vlsi/clock_estimator.hh"
 
@@ -57,9 +58,9 @@ class CellBatch
     }
 
     void
-    run()
+    run(const SweepOptions &sopts)
     {
-        SweepRunner runner;
+        SweepRunner runner(sopts);
         results_ = runner.run(requests_);
     }
 
@@ -99,8 +100,16 @@ const Best kBestSchedules[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::TableOptions opts = bench::parseTableArgs(argc, argv);
+    static bench::TableObservability sinks(opts);
+    static bench::TableDiskCache disk(opts);
+    SweepOptions sopts;
+    sopts.threads = opts.threads;
+    sopts.useCache = opts.cache;
+    sinks.configure(sopts);
+
     ClockEstimator clock;
     AreaEstimator area;
 
@@ -115,7 +124,7 @@ main()
         for (const char *name : {"I4C8S4", "I2C16S4", "I2C16S5"})
             batch.add(b.kernel, b.variant, name, b.units);
     }
-    batch.run();
+    batch.run(sopts);
 
     // 1. Real-time full search utilization and sustained GOPS.
     std::printf("Real-time full motion search at 30 frames/s "

@@ -107,6 +107,32 @@ BM_CycleSimBlockedSearchUnit(benchmark::State &state)
 }
 BENCHMARK(BM_CycleSimBlockedSearchUnit)->Unit(benchmark::kMillisecond);
 
+/**
+ * The decoded-trace hot path: a software-pipelined full search is
+ * dominated by steady-state SWP trips and repeated acyclic groups,
+ * exactly the work the per-group trace cache removes from the
+ * per-trip path. ops/s here is the PR 3 acceptance metric.
+ */
+void
+BM_CycleSimSwpFullSearchUnit(benchmark::State &state)
+{
+    const VariantSpec &v = fms().variant("Add spec. op (SW pipelined)");
+    DatapathConfig cfg = models::i4c8s4();
+    cfg.cluster.hasAbsDiff = true; // the variant's forced upgrade.
+    MachineModel machine(cfg);
+    Function fn = lowerVariant(fms(), v, machine);
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        MemoryImage mem(fn);
+        fms().prepare(fn, mem, FrameGeometry{48, 32}, 0);
+        CycleSim sim(machine, v.mode);
+        ops += sim.run(fn, mem).operations;
+    }
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CycleSimSwpFullSearchUnit)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

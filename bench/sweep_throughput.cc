@@ -11,13 +11,26 @@
  * verifies, once, that every cell's cycles-per-frame is bit-identical
  * to the serial pass (the sweep determinism contract; the full test
  * is in tests/test_sweep.cc).
+ *
+ * `--json [FILE]` switches to a single-shot measurement that writes a
+ * machine-readable summary (default BENCH_sweep.json): cold / warm /
+ * disk-warm wall time, cells per second, and cache hit rates. The
+ * disk-warm pass uses a throwaway cache directory and a fresh
+ * in-memory cache, so it measures exactly the persistent layer.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "arch/models.hh"
+#include "core/disk_cache.hh"
 #include "core/sweep.hh"
 
 using namespace vvsp;
@@ -122,6 +135,111 @@ BM_Table1SweepPooledCachedRerun(benchmark::State &state)
 BENCHMARK(BM_Table1SweepPooledCachedRerun)
     ->Unit(benchmark::kMillisecond);
 
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One-shot measurement for CI trend lines; see the file comment. */
+int
+runJsonMode(const std::string &out_path)
+{
+    const auto &grid = table1Grid();
+    const double cells = static_cast<double>(grid.size());
+
+    // Cold: fresh in-memory cache, no disk.
+    ExperimentCache cold_cache;
+    SweepOptions opts;
+    opts.cache = &cold_cache;
+    SweepRunner runner(opts);
+    auto t0 = std::chrono::steady_clock::now();
+    runner.run(grid);
+    double cold_s = secondsSince(t0);
+
+    // Warm: same runner, memo cache now holds every cell.
+    t0 = std::chrono::steady_clock::now();
+    runner.run(grid);
+    double warm_s = secondsSince(t0);
+    ExperimentCacheStats warm_stats = cold_cache.stats();
+
+    // Disk-warm: populate a throwaway directory, then rerun against
+    // it with an empty in-memory cache.
+    std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("vvsp-sweep-bench-" + std::to_string(::getpid())))
+            .string();
+    DiskCache disk(dir);
+    {
+        ExperimentCache fill;
+        fill.setDiskCache(&disk);
+        SweepOptions fopts;
+        fopts.cache = &fill;
+        SweepRunner(fopts).run(grid);
+    }
+    ExperimentCache disk_only;
+    disk_only.setDiskCache(&disk);
+    SweepOptions dopts;
+    dopts.cache = &disk_only;
+    SweepRunner disk_runner(dopts);
+    t0 = std::chrono::steady_clock::now();
+    disk_runner.run(grid);
+    double disk_s = secondsSince(t0);
+    ExperimentCacheStats disk_stats = disk_only.stats();
+    std::filesystem::remove_all(dir);
+
+    double lookups = static_cast<double>(warm_stats.resultHits +
+                                         warm_stats.resultMisses);
+    double disk_lookups = static_cast<double>(
+        disk_stats.diskHits + disk_stats.diskMisses);
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"cells\": %zu,\n"
+        "  \"cold_wall_s\": %.6f,\n"
+        "  \"cold_cells_per_s\": %.3f,\n"
+        "  \"warm_wall_s\": %.6f,\n"
+        "  \"warm_cells_per_s\": %.3f,\n"
+        "  \"memo_hit_rate\": %.6f,\n"
+        "  \"disk_warm_wall_s\": %.6f,\n"
+        "  \"disk_warm_cells_per_s\": %.3f,\n"
+        "  \"disk_hit_rate\": %.6f\n"
+        "}\n",
+        grid.size(), cold_s, cells / cold_s, warm_s, cells / warm_s,
+        lookups > 0 ? warm_stats.resultHits / lookups : 0.0, disk_s,
+        cells / disk_s,
+        disk_lookups > 0 ? disk_stats.diskHits / disk_lookups : 0.0);
+    std::fclose(f);
+    std::printf("wrote %s (cold %.2fs, warm %.2fs, disk-warm %.2fs "
+                "for %zu cells)\n",
+                out_path.c_str(), cold_s, warm_s, disk_s, grid.size());
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            std::string out = "BENCH_sweep.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                out = argv[i + 1];
+            return runJsonMode(out);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -11,7 +11,11 @@
  * Every table binary accepts:
  *   --json         machine-readable cell dump instead of the table
  *   --threads=N    worker threads (default: hardware concurrency)
- *   --no-cache     disable the memo cache
+ *   --no-cache     disable the memo cache (implies --no-disk-cache)
+ *   --cache-dir=D  persistent cache directory (default: see
+ *                  DiskCache::defaultDir - ~/.cache/vvsp)
+ *   --no-disk-cache  keep the in-memory memo cache but skip the
+ *                  persistent layer
  *   --stats        print the run's stats registry (--stats=json for
  *                  the JSON form) after the table
  *   --trace=FILE   write a Chrome trace_event timeline of the sweep
@@ -24,10 +28,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/models.hh"
+#include "core/disk_cache.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "obs/stats_registry.hh"
@@ -52,6 +58,8 @@ struct TableOptions
     bool json = false;
     int threads = 0; ///< 0 = hardware concurrency.
     bool cache = true;
+    bool diskCache = true;  ///< persistent layer under the memo cache.
+    std::string cacheDir;   ///< "" = DiskCache::defaultDir().
     bool stats = false;     ///< print the stats registry after runs.
     bool statsJson = false; ///< ... in JSON form.
     std::string traceFile;  ///< trace_event output path ("" = off).
@@ -78,6 +86,11 @@ parseTableArgs(int argc, char **argv)
             opts.threads = static_cast<int>(n);
         } else if (std::strcmp(a, "--no-cache") == 0) {
             opts.cache = false;
+        } else if (std::strcmp(a, "--no-disk-cache") == 0) {
+            opts.diskCache = false;
+        } else if (std::strncmp(a, "--cache-dir=", 12) == 0 &&
+                   a[12] != '\0') {
+            opts.cacheDir = a + 12;
         } else if (std::strcmp(a, "--stats") == 0) {
             opts.stats = true;
         } else if (std::strcmp(a, "--stats=json") == 0) {
@@ -89,7 +102,8 @@ parseTableArgs(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--json] [--threads=N] "
-                         "[--no-cache] [--stats[=json]] "
+                         "[--no-cache] [--no-disk-cache] "
+                         "[--cache-dir=DIR] [--stats[=json]] "
                          "[--trace=FILE]\n",
                          argv[0]);
             std::exit(2);
@@ -147,6 +161,34 @@ class TableObservability
     TableOptions opts_;
     obs::StatsRegistry stats_;
     obs::TraceWriter trace_;
+};
+
+/**
+ * Attaches the persistent disk layer to the process-global memo
+ * cache for the attachment's lifetime. No-op when either cache layer
+ * is disabled, so --no-cache / --no-disk-cache behave exactly like
+ * the pre-disk-cache harness.
+ */
+class TableDiskCache
+{
+  public:
+    explicit TableDiskCache(const TableOptions &opts)
+    {
+        if (!opts.cache || !opts.diskCache)
+            return;
+        disk_.emplace(opts.cacheDir.empty() ? DiskCache::defaultDir()
+                                            : opts.cacheDir);
+        ExperimentCache::global().setDiskCache(&*disk_);
+    }
+
+    ~TableDiskCache()
+    {
+        if (disk_)
+            ExperimentCache::global().setDiskCache(nullptr);
+    }
+
+  private:
+    std::optional<DiskCache> disk_;
 };
 
 /** JSON string escaping for the names we emit (quotes/backslash). */
@@ -222,6 +264,7 @@ runKernelTable(const std::string &kernel_name,
     // One sink pair per process: sections of a multi-table binary
     // aggregate into the same registry/trace, emitted at exit.
     static TableObservability sinks(opts);
+    static TableDiskCache disk(opts);
     SweepOptions sopts;
     sopts.threads = opts.threads;
     sopts.useCache = opts.cache;

@@ -1,0 +1,317 @@
+#include "core/disk_cache.hh"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+/** Bumped whenever the entry layout changes; mismatches are misses. */
+constexpr int kSchemaVersion = 1;
+constexpr const char *kMagic = "vvsp-experiment-cache";
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hexOfBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+/* Field writers: every value on its own line; strings are
+ * length-prefixed so labels may contain anything. */
+
+void
+putStr(std::ostream &os, const std::string &s)
+{
+    os << s.size() << '\n' << s << '\n';
+}
+
+void
+putF64(std::ostream &os, double v)
+{
+    os << hexOfBits(v) << '\n';
+}
+
+void
+putI64(std::ostream &os, int64_t v)
+{
+    os << v << '\n';
+}
+
+/** Streaming reader that folds every failure into one flag. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : is_(is) {}
+
+    bool ok() const { return ok_; }
+
+    std::string
+    str()
+    {
+        size_t len = static_cast<size_t>(i64());
+        if (!ok_ || len > (1u << 20)) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(len, '\0');
+        is_.read(s.data(), static_cast<std::streamsize>(len));
+        char nl = 0;
+        is_.get(nl);
+        if (!is_ || nl != '\n')
+            ok_ = false;
+        return s;
+    }
+
+    double
+    f64()
+    {
+        std::string line = rawLine();
+        if (!ok_ || line.size() != 16) {
+            ok_ = false;
+            return 0;
+        }
+        uint64_t bits = 0;
+        for (char c : line) {
+            int d;
+            if (c >= '0' && c <= '9')
+                d = c - '0';
+            else if (c >= 'a' && c <= 'f')
+                d = c - 'a' + 10;
+            else {
+                ok_ = false;
+                return 0;
+            }
+            bits = bits << 4 | static_cast<uint64_t>(d);
+        }
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    int64_t
+    i64()
+    {
+        std::string line = rawLine();
+        if (!ok_ || line.empty())
+            ok_ = false;
+        if (!ok_)
+            return 0;
+        errno = 0;
+        char *end = nullptr;
+        long long v = std::strtoll(line.c_str(), &end, 10);
+        if (errno != 0 || end != line.c_str() + line.size()) {
+            ok_ = false;
+            return 0;
+        }
+        return v;
+    }
+
+    bool b() { return i64() != 0; }
+
+    std::string
+    rawLine()
+    {
+        std::string line;
+        if (!std::getline(is_, line))
+            ok_ = false;
+        return line;
+    }
+
+  private:
+    std::istream &is_;
+    bool ok_ = true;
+};
+
+void
+serialize(std::ostream &os, const std::string &key,
+          const ExperimentResult &res)
+{
+    os << kMagic << ' ' << kSchemaVersion << '\n';
+    putStr(os, key);
+    putStr(os, res.kernel);
+    putStr(os, res.variant);
+    putStr(os, res.model);
+    putStr(os, res.note);
+    putF64(os, res.cyclesPerUnit);
+    putF64(os, res.cyclesPerFrame);
+    putF64(os, res.unitsPerFrame);
+    putF64(os, res.replication);
+    putI64(os, res.checked ? 1 : 0);
+    putI64(os, res.passed ? 1 : 0);
+    const CompositionResult &c = res.comp;
+    putF64(os, c.cyclesPerUnit);
+    putI64(os, c.totalInstructions);
+    putI64(os, c.hotLoopInstructions);
+    putI64(os, c.maxLive);
+    putI64(os, c.icacheOk ? 1 : 0);
+    putI64(os, c.registersOk ? 1 : 0);
+    putF64(os, c.opsPerUnit);
+    putI64(os, static_cast<int64_t>(c.regions.size()));
+    for (const RegionCost &r : c.regions) {
+        putStr(os, r.label);
+        putF64(os, r.execCount);
+        putI64(os, r.length);
+        putI64(os, r.ii);
+        putF64(os, r.cycles);
+        putI64(os, r.instructions);
+        putI64(os, r.maxLive);
+    }
+    os << "end\n";
+}
+
+bool
+deserialize(std::istream &is, const std::string &key,
+            ExperimentResult &out)
+{
+    Reader rd(is);
+    std::istringstream header(rd.rawLine());
+    std::string magic;
+    int version = -1;
+    header >> magic >> version;
+    if (!rd.ok() || magic != kMagic || version != kSchemaVersion)
+        return false;
+    if (rd.str() != key || !rd.ok())
+        return false; // different key hashed to this file.
+
+    ExperimentResult res;
+    res.kernel = rd.str();
+    res.variant = rd.str();
+    res.model = rd.str();
+    res.note = rd.str();
+    res.cyclesPerUnit = rd.f64();
+    res.cyclesPerFrame = rd.f64();
+    res.unitsPerFrame = rd.f64();
+    res.replication = rd.f64();
+    res.checked = rd.b();
+    res.passed = rd.b();
+    CompositionResult &c = res.comp;
+    c.cyclesPerUnit = rd.f64();
+    c.totalInstructions = static_cast<int>(rd.i64());
+    c.hotLoopInstructions = static_cast<int>(rd.i64());
+    c.maxLive = static_cast<int>(rd.i64());
+    c.icacheOk = rd.b();
+    c.registersOk = rd.b();
+    c.opsPerUnit = rd.f64();
+    int64_t num_regions = rd.i64();
+    if (!rd.ok() || num_regions < 0 || num_regions > (1 << 20))
+        return false;
+    c.regions.resize(static_cast<size_t>(num_regions));
+    for (RegionCost &r : c.regions) {
+        r.label = rd.str();
+        r.execCount = rd.f64();
+        r.length = static_cast<int>(rd.i64());
+        r.ii = static_cast<int>(rd.i64());
+        r.cycles = rd.f64();
+        r.instructions = static_cast<int>(rd.i64());
+        r.maxLive = static_cast<int>(rd.i64());
+    }
+    if (!rd.ok() || rd.rawLine() != "end")
+        return false; // truncated before the trailer.
+    out = std::move(res);
+    return true;
+}
+
+} // anonymous namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        warn("disk cache: cannot create '%s': %s", dir_.c_str(),
+             ec.message().c_str());
+    }
+}
+
+std::string
+DiskCache::entryPath(const std::string &key) const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(key)));
+    return dir_ + "/" + buf + ".entry";
+}
+
+bool
+DiskCache::load(const std::string &key, ExperimentResult &out) const
+{
+    std::ifstream is(entryPath(key), std::ios::binary);
+    if (!is)
+        return false;
+    return deserialize(is, key, out);
+}
+
+bool
+DiskCache::store(const std::string &key,
+                 const ExperimentResult &res) const
+{
+    std::ostringstream body;
+    serialize(body, key, res);
+
+    // Unique temp name per (process, call) so concurrent writers -
+    // threads or processes - never touch the same file; the rename
+    // publishes a complete entry or nothing.
+    static std::atomic<uint64_t> seq{0};
+    std::string final_path = entryPath(key);
+    std::string tmp_path = final_path + ".tmp." +
+                           std::to_string(::getpid()) + "." +
+                           std::to_string(seq.fetch_add(1));
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        os << body.str();
+        os.flush();
+        if (!os) {
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+DiskCache::defaultDir()
+{
+    if (const char *env = std::getenv("VVSP_CACHE_DIR"))
+        return env;
+    if (const char *xdg = std::getenv("XDG_CACHE_HOME"))
+        return std::string(xdg) + "/vvsp";
+    if (const char *home = std::getenv("HOME"))
+        return std::string(home) + "/.cache/vvsp";
+    return ".vvsp-cache";
+}
+
+} // namespace vvsp

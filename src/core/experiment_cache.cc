@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/disk_cache.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -86,24 +87,70 @@ ExperimentCache::findResult(const std::string &key,
                             const std::string &model_name,
                             ExperimentResult &out)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = results_.find(key);
-    if (it == results_.end()) {
-        ++stats_.resultMisses;
-        return false;
+    DiskCache *disk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = results_.find(key);
+        if (it != results_.end()) {
+            ++stats_.resultHits;
+            out = it->second;
+            out.model = model_name;
+            return true;
+        }
+        disk = disk_;
+        if (!disk) {
+            ++stats_.resultMisses;
+            return false;
+        }
     }
-    ++stats_.resultHits;
-    out = it->second;
-    out.model = model_name;
-    return true;
+    // Disk I/O happens outside the lock; concurrent misses on
+    // different cells read in parallel, duplicate reads of the same
+    // entry are harmless.
+    ExperimentResult res;
+    if (disk->load(key, res)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskHits;
+        results_.try_emplace(key, res);
+        out = std::move(res);
+        out.model = model_name;
+        return true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.diskMisses;
+    ++stats_.resultMisses;
+    return false;
 }
 
 void
 ExperimentCache::storeResult(const std::string &key,
                              const ExperimentResult &res)
 {
+    DiskCache *disk = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (results_.try_emplace(key, res).second)
+            disk = disk_;
+    }
+    // Only the first in-memory writer publishes to disk, and does so
+    // outside the lock (the write is atomic-rename safe on its own).
+    if (disk && disk->store(key, res)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.diskStores;
+    }
+}
+
+void
+ExperimentCache::setDiskCache(DiskCache *disk)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    results_.try_emplace(key, res);
+    disk_ = disk;
+}
+
+DiskCache *
+ExperimentCache::diskCache() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return disk_;
 }
 
 ExperimentCacheStats

@@ -11,14 +11,17 @@
  * units, seed, and the check flag - so identical work is recognized
  * no matter which named model or harness asked for it.
  *
- * Two levels:
+ * Three levels:
  *  1. lowered-function cache: the machine-dependent lowering of a
  *     (kernel, variant, machine) triple, reused across geometries
  *     and profile depths; hits hand out a deep clone because the
  *     composer appends materialized loop control to the function;
  *  2. result cache: the complete ExperimentResult of a cell
  *     (interpreter profile folded into the composed schedule), with
- *     only the display model name patched per request.
+ *     only the display model name patched per request;
+ *  3. optional persistent layer (see disk_cache.hh): result-cache
+ *     misses consult the disk before recomputing, and first writers
+ *     publish their result for future processes.
  *
  * All methods are thread-safe; the sweep runner's workers share one
  * instance.
@@ -37,13 +40,21 @@
 namespace vvsp
 {
 
+class DiskCache;
+
 /** Hit/miss counters (one snapshot; totals since construction). */
 struct ExperimentCacheStats
 {
     uint64_t loweredHits = 0;
     uint64_t loweredMisses = 0;
+    /** In-memory result hits (disk hits counted separately). */
     uint64_t resultHits = 0;
+    /** Misses of both layers (recomputation happened). */
     uint64_t resultMisses = 0;
+    uint64_t diskHits = 0;
+    /** Disk lookups that found no usable entry. */
+    uint64_t diskMisses = 0;
+    uint64_t diskStores = 0;
 };
 
 /** Thread-safe memo cache for lowered functions and cell results. */
@@ -77,18 +88,35 @@ class ExperimentCache
                          const VariantSpec &variant,
                          const MachineModel &machine);
 
-    /** Look up a finished cell; patches res.model to `model_name`. */
+    /**
+     * Look up a finished cell; patches res.model to `model_name`.
+     * Memory misses consult the disk layer (when attached) and
+     * promote disk hits into the memory map.
+     */
     bool findResult(const std::string &key,
                     const std::string &model_name,
                     ExperimentResult &out);
 
-    /** Record a finished cell (first writer wins). */
+    /**
+     * Record a finished cell (first writer wins). The first writer
+     * also publishes the entry to the disk layer when attached.
+     */
     void storeResult(const std::string &key,
                      const ExperimentResult &res);
 
+    /**
+     * Attach (or, with nullptr, detach) the persistent layer. The
+     * caller keeps ownership and must outlive the attachment. Not
+     * meant to be raced against lookups: attach before submitting
+     * work.
+     */
+    void setDiskCache(DiskCache *disk);
+
+    DiskCache *diskCache() const;
+
     ExperimentCacheStats stats() const;
 
-    /** Drop all entries and zero the counters. */
+    /** Drop all in-memory entries and zero the counters. */
     void clear();
 
     /** Process-wide shared instance. */
@@ -99,6 +127,7 @@ class ExperimentCache
     std::unordered_map<std::string, Function> lowered_;
     std::unordered_map<std::string, ExperimentResult> results_;
     ExperimentCacheStats stats_;
+    DiskCache *disk_ = nullptr;
 };
 
 } // namespace vvsp

@@ -36,6 +36,8 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests)
         }
     }
     const auto batchStart = std::chrono::steady_clock::now();
+    const ExperimentCacheStats before =
+        cache_ ? cache_->stats() : ExperimentCacheStats{};
 
     std::vector<ExperimentResult> results(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -77,6 +79,20 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests)
         });
     }
     pool_.wait();
+    if (stats_ && cache_) {
+        // This batch's contribution to the shared cache's counters.
+        const ExperimentCacheStats after = cache_->stats();
+        obs::StatsScope cs = stats_->scope("cache");
+        cs.bump("lowered_hits", after.loweredHits - before.loweredHits);
+        cs.bump("lowered_misses",
+                after.loweredMisses - before.loweredMisses);
+        cs.bump("result_hits", after.resultHits - before.resultHits);
+        cs.bump("result_misses",
+                after.resultMisses - before.resultMisses);
+        cs.bump("disk_hits", after.diskHits - before.diskHits);
+        cs.bump("disk_misses", after.diskMisses - before.diskMisses);
+        cs.bump("disk_stores", after.diskStores - before.diskStores);
+    }
     if (stats_)
         obs::setGlobalStats(prev);
     return results;

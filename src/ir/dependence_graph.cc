@@ -1,8 +1,8 @@
 #include "ir/dependence_graph.hh"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/logging.hh"
 
@@ -21,6 +21,38 @@ complementaryPreds(const Operation &a, const Operation &b)
            a.pred == b.pred && a.predSense != b.predSense;
 }
 
+/** Exact pack of an edge identity (from, to, distance, kind). */
+uint64_t
+edgeKey(int from, int to, int distance, DepKind kind)
+{
+    vvsp_assert(from >= 0 && from < (1 << 28) && to >= 0 &&
+                    to < (1 << 28) && distance >= 0 && distance < 4,
+                "edge key overflow (%d -> %d dist %d)", from, to,
+                distance);
+    return (static_cast<uint64_t>(from) << 34) |
+           (static_cast<uint64_t>(to) << 6) |
+           (static_cast<uint64_t>(distance) << 2) |
+           static_cast<uint64_t>(kind);
+}
+
+/** Per-register dependence state, indexed directly by vreg. */
+struct RegState
+{
+    std::vector<int> writers;
+    std::vector<int> readers;     ///< pruned at unconditional kills.
+    std::vector<int> all_readers; ///< kept for carried analysis.
+};
+
+/** Memory-ordering chain state for one (buffer, aliasToken) class. */
+struct MemChain
+{
+    int buffer = 0;
+    int aliasToken = 0;
+    int lastStore = -1;
+    std::vector<int> readersSinceStore;
+    std::vector<int> allOps; ///< for the carried all-pairs pass.
+};
+
 } // anonymous namespace
 
 DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
@@ -29,16 +61,23 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
     : num_ops_(ops.size()), preds_(ops.size()), succs_(ops.size())
 {
     const int n = static_cast<int>(ops.size());
+    edge_index_.reserve(ops.size() * 4);
 
-    // Per-register writer/reader tracking. `readers` is pruned at
-    // unconditional kills (it only feeds anti-dependences);
-    // `all_readers` keeps every read for the loop-carried analysis.
-    std::map<Vreg, std::vector<int>> writers;
-    std::map<Vreg, std::vector<int>> readers;
-    std::map<Vreg, std::vector<int>> all_readers;
+    Vreg max_reg = 0;
+    for (const auto &op : ops) {
+        if (op.info().hasDst)
+            max_reg = std::max(max_reg, op.dst);
+        for (const auto &s : op.src) {
+            if (s.isReg())
+                max_reg = std::max(max_reg, s.reg);
+        }
+        if (op.pred.isReg())
+            max_reg = std::max(max_reg, op.pred.reg);
+    }
+    std::vector<RegState> regs(static_cast<size_t>(max_reg) + 1);
 
-    auto reads = [&](const Operation &op, const std::function<void(Vreg)>
-                                              &fn) {
+    auto reads = [&](const Operation &op,
+                     const std::function<void(Vreg)> &fn) {
         for (const auto &s : op.src) {
             if (s.isReg())
                 fn(s.reg);
@@ -51,21 +90,22 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
         const Operation &op = ops[static_cast<size_t>(i)];
 
         reads(op, [&](Vreg r) {
-            for (int w : writers[r]) {
+            RegState &st = regs[r];
+            for (int w : st.writers) {
                 addEdge(w, i, latency(ops[static_cast<size_t>(w)]), 0,
                         DepKind::True);
             }
-            readers[r].push_back(i);
-            all_readers[r].push_back(i);
+            st.readers.push_back(i);
+            st.all_readers.push_back(i);
         });
 
         if (op.info().hasDst) {
-            Vreg d = op.dst;
-            for (int rd : readers[d]) {
+            RegState &st = regs[op.dst];
+            for (int rd : st.readers) {
                 if (rd != i)
                     addEdge(rd, i, 0, 0, DepKind::Anti);
             }
-            for (int w : writers[d]) {
+            for (int w : st.writers) {
                 int lat = complementaryPreds(
                               ops[static_cast<size_t>(w)], op)
                               ? 0
@@ -73,45 +113,98 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
                 addEdge(w, i, lat, 0, DepKind::Output);
             }
             if (op.isPredicated()) {
-                writers[d].push_back(i);
+                st.writers.push_back(i);
             } else {
-                writers[d] = {i};
-                readers[d].clear();
+                st.writers = {i};
+                st.readers.clear();
             }
         }
     }
 
-    // Memory ordering per (buffer, aliasToken).
-    std::map<std::pair<int, int>, std::vector<int>> mem_ops;
+    // Memory ordering per (buffer, aliasToken), chains discovered in
+    // program order.
+    std::vector<MemChain> chains;
+    std::unordered_map<uint64_t, size_t> chain_of;
     for (int i = 0; i < n; ++i) {
         const Operation &op = ops[static_cast<size_t>(i)];
-        if (op.info().isMemory)
-            mem_ops[{op.buffer, op.aliasToken}].push_back(i);
-    }
-    for (const auto &[key, idxs] : mem_ops) {
-        for (size_t a = 0; a < idxs.size(); ++a) {
-            for (size_t b = a + 1; b < idxs.size(); ++b) {
-                const Operation &oa = ops[static_cast<size_t>(idxs[a])];
-                const Operation &ob = ops[static_cast<size_t>(idxs[b])];
-                bool a_store = oa.op == Opcode::Store;
-                bool b_store = ob.op == Opcode::Store;
-                if (!a_store && !b_store)
-                    continue; // load-load: no ordering needed.
-                int lat = a_store && !b_store ? 1 : (a_store ? 1 : 0);
-                addEdge(idxs[a], idxs[b], lat, 0, DepKind::Memory);
-            }
+        if (!op.info().isMemory)
+            continue;
+        uint64_t key =
+            (static_cast<uint64_t>(static_cast<uint32_t>(op.buffer))
+             << 32) |
+            static_cast<uint32_t>(op.aliasToken);
+        auto [it, fresh] = chain_of.try_emplace(key, chains.size());
+        if (fresh) {
+            chains.emplace_back();
+            chains.back().buffer = op.buffer;
+            chains.back().aliasToken = op.aliasToken;
+        }
+        MemChain &chain = chains[it->second];
+        chain.allOps.push_back(i);
+
+        // Chained edges: store -> store (lat 1), store -> later loads
+        // (lat 1), loads-since-store -> store (lat 0). Transitivity
+        // through the chain dominates the dropped all-pairs edges, so
+        // heights and scheduler timing are unchanged. Only safe for
+        // acyclic scheduling: the modulo scheduler's backtracking
+        // bounds estart by *placed* predecessors only, where indirect
+        // edges are not interchangeable with direct ones.
+        if (loop_carried)
+            continue;
+        if (op.op == Opcode::Store) {
+            for (int rd : chain.readersSinceStore)
+                addEdge(rd, i, 0, 0, DepKind::Memory);
+            if (chain.lastStore >= 0)
+                addEdge(chain.lastStore, i, 1, 0, DepKind::Memory);
+            chain.lastStore = i;
+            chain.readersSinceStore.clear();
+        } else {
+            if (chain.lastStore >= 0)
+                addEdge(chain.lastStore, i, 1, 0, DepKind::Memory);
+            chain.readersSinceStore.push_back(i);
         }
     }
 
     if (loop_carried) {
+        // The modulo scheduler needs every direct ordering edge;
+        // iterate classes in (buffer, aliasToken) order so the edge
+        // list is reproducible independently of discovery order.
+        std::vector<size_t> class_order(chains.size());
+        for (size_t c = 0; c < chains.size(); ++c)
+            class_order[c] = c;
+        std::sort(class_order.begin(), class_order.end(),
+                  [&chains](size_t a, size_t b) {
+                      if (chains[a].buffer != chains[b].buffer)
+                          return chains[a].buffer < chains[b].buffer;
+                      return chains[a].aliasToken <
+                             chains[b].aliasToken;
+                  });
+        for (size_t c : class_order) {
+            const std::vector<int> &idxs = chains[c].allOps;
+            for (size_t a = 0; a < idxs.size(); ++a) {
+                for (size_t b = a + 1; b < idxs.size(); ++b) {
+                    const Operation &oa =
+                        ops[static_cast<size_t>(idxs[a])];
+                    const Operation &ob =
+                        ops[static_cast<size_t>(idxs[b])];
+                    bool a_store = oa.op == Opcode::Store;
+                    bool b_store = ob.op == Opcode::Store;
+                    if (!a_store && !b_store)
+                        continue; // load-load: no ordering needed.
+                    int lat = a_store && !b_store ? 1 : (a_store ? 1 : 0);
+                    addEdge(idxs[a], idxs[b], lat, 0, DepKind::Memory);
+                }
+            }
+        }
+
         // Register values live around the back edge: a reader at or
         // before a writer consumes the previous iteration's value.
-        for (const auto &[r, ws] : writers) {
-            auto rit = all_readers.find(r);
-            if (rit == all_readers.end())
+        for (Vreg r = 0; r < regs.size(); ++r) {
+            const RegState &st = regs[static_cast<size_t>(r)];
+            if (st.writers.empty() || st.all_readers.empty())
                 continue;
-            for (int w : ws) {
-                for (int rd : rit->second) {
+            for (int w : st.writers) {
+                for (int rd : st.all_readers) {
                     if (rd <= w) {
                         addEdge(w, rd,
                                 latency(ops[static_cast<size_t>(w)]), 1,
@@ -122,7 +215,8 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
         }
         // Conservative carried memory dependences, unless both ends
         // are declared streaming.
-        for (const auto &[key, idxs] : mem_ops) {
+        for (size_t c : class_order) {
+            const std::vector<int> &idxs = chains[c].allOps;
             for (int a : idxs) {
                 for (int b : idxs) {
                     const Operation &oa =
@@ -150,12 +244,16 @@ DependenceGraph::addEdge(int from, int to, int latency, int distance,
 {
     vvsp_assert(distance > 0 || from < to || (from == to && distance > 0),
                 "distance-0 edge must run forward (%d -> %d)", from, to);
-    // Drop exact duplicates (common with multi-writer tracking).
-    for (const auto &e : edges_) {
-        if (e.from == from && e.to == to && e.distance == distance &&
-            e.kind == kind && e.latency >= latency) {
-            return;
-        }
+    // Each (from, to, distance, kind) identity keeps one edge at the
+    // running-max latency; every producer of a given identity supplies
+    // the same latency, so this reproduces the drop-duplicates scan.
+    auto [it, fresh] = edge_index_.try_emplace(
+        edgeKey(from, to, distance, kind),
+        static_cast<int>(edges_.size()));
+    if (!fresh) {
+        DepEdge &existing = edges_[static_cast<size_t>(it->second)];
+        existing.latency = std::max(existing.latency, latency);
+        return;
     }
     int idx = static_cast<int>(edges_.size());
     edges_.push_back(DepEdge{from, to, latency, distance, kind});
@@ -218,8 +316,11 @@ DependenceGraph::recurrenceMii() const
         max_lat_sum += e.latency;
 
     // Smallest II such that no cycle has positive (latency - II*dist)
-    // weight; checked with Bellman-Ford on longest paths.
-    for (int ii = 1; ii <= max_lat_sum; ++ii) {
+    // weight; checked with Bellman-Ford on longest paths. Every cycle
+    // in a valid graph carries distance >= 1, so its weight
+    // latSum - II*distSum strictly decreases with II: feasibility is
+    // monotone and the smallest feasible II can be binary searched.
+    auto feasible = [this](int ii) {
         std::vector<int> dist(num_ops_, 0);
         bool changed = true;
         bool positive_cycle = false;
@@ -236,10 +337,21 @@ DependenceGraph::recurrenceMii() const
                 }
             }
         }
-        if (!positive_cycle && !changed)
-            return ii;
+        return !positive_cycle && !changed;
+    };
+    if (feasible(1))
+        return 1;
+    // Invariant: lo infeasible; hi = the answer if any II in range
+    // is feasible, else max_lat_sum (the historical fallback).
+    int lo = 1, hi = max_lat_sum;
+    while (hi - lo > 1) {
+        int mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            hi = mid;
+        else
+            lo = mid;
     }
-    return max_lat_sum;
+    return hi;
 }
 
 std::string

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ir/operation.hh"
@@ -89,6 +90,8 @@ class DependenceGraph
 
     size_t num_ops_;
     std::vector<DepEdge> edges_;
+    /** (from, to, distance, kind) -> edge index, for O(1) dedup. */
+    std::unordered_map<uint64_t, int> edge_index_;
     std::vector<std::vector<int>> preds_;
     std::vector<std::vector<int>> succs_;
     std::vector<int> heights_;

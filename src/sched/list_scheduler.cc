@@ -9,7 +9,9 @@ namespace vvsp
 {
 
 ListScheduler::ListScheduler(const MachineModel &machine, BankOfFn bank_of)
-    : machine_(machine), bank_of_(std::move(bank_of))
+    : machine_(machine), bank_of_(std::move(bank_of)),
+      table_(machine_, /*ii=*/0, bank_of_),
+      stats_(obs::globalScope("sched"))
 {
 }
 
@@ -43,7 +45,9 @@ ListScheduler::schedule(const std::vector<Operation> &ops,
         }
     }
 
-    ReservationTable table(machine_, /*ii=*/0, bank_of_, width1);
+    stats_.bump("list_runs");
+    ReservationTable &table = table_;
+    table.reset(/*ii=*/0, width1);
     std::vector<int> start(static_cast<size_t>(n), -1);
     std::vector<int> unplaced_preds(static_cast<size_t>(n), 0);
     std::vector<int> earliest(static_cast<size_t>(n), 0);

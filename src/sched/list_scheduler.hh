@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/machine_model.hh"
+#include "obs/stats_registry.hh"
 #include "sched/reservation_table.hh"
 #include "sched/schedule.hh"
 
@@ -45,6 +46,9 @@ class ListScheduler
   private:
     const MachineModel &machine_;
     BankOfFn bank_of_;
+    /** Pooled across schedule() calls; reset() per block. */
+    mutable ReservationTable table_;
+    obs::StatsScope stats_;
 };
 
 } // namespace vvsp

@@ -1,7 +1,9 @@
 #include "sched/modulo_scheduler.hh"
 
 #include <algorithm>
+#include <bit>
 #include <map>
+#include <numeric>
 
 #include "sched/reg_pressure.hh"
 #include "support/logging.hh"
@@ -11,7 +13,9 @@ namespace vvsp
 
 ModuloScheduler::ModuloScheduler(const MachineModel &machine,
                                  BankOfFn bank_of)
-    : machine_(machine), bank_of_(std::move(bank_of))
+    : machine_(machine), bank_of_(std::move(bank_of)),
+      table_(machine_, /*ii=*/1, bank_of_),
+      stats_(obs::globalScope("sched"))
 {
 }
 
@@ -88,13 +92,27 @@ ModuloScheduler::resourceMii(const std::vector<Operation> &ops) const
 bool
 ModuloScheduler::attempt(const std::vector<Operation> &ops,
                          const DependenceGraph &ddg, int ii,
+                         const std::vector<int> &by_priority,
                          std::vector<int> *start) const
 {
     const int n = static_cast<int>(ops.size());
     start->assign(static_cast<size_t>(n), -1);
     std::vector<int> prev(static_cast<size_t>(n), -1);
     std::vector<int> slot_of(static_cast<size_t>(n), -1);
-    ReservationTable table(machine_, ii, bank_of_);
+    ReservationTable &table = table_;
+    table.reset(ii);
+
+    // Unscheduled ops as a bitset over priority ranks: the first set
+    // bit is the next op to place, so selection is a word scan
+    // instead of an O(n) height sweep per placement.
+    std::vector<int> rank_of(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r)
+        rank_of[static_cast<size_t>(by_priority[static_cast<size_t>(
+            r)])] = r;
+    std::vector<uint64_t> unplaced(
+        (static_cast<size_t>(n) + 63) / 64, ~uint64_t{0});
+    if (n % 64)
+        unplaced.back() = (uint64_t{1} << (n % 64)) - 1;
 
     auto unschedule = [&](int i) {
         if ((*start)[static_cast<size_t>(i)] < 0)
@@ -103,17 +121,24 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
                       (*start)[static_cast<size_t>(i)],
                       slot_of[static_cast<size_t>(i)]);
         (*start)[static_cast<size_t>(i)] = -1;
+        int r = rank_of[static_cast<size_t>(i)];
+        unplaced[static_cast<size_t>(r) / 64] |= uint64_t{1}
+                                                 << (r % 64);
     };
 
     long budget = 32L * n + 256;
     while (true) {
-        // Highest-priority unscheduled op.
+        // Highest-priority unscheduled op: height descending, ties
+        // in program order - i.e. the lowest set rank.
         int op_idx = -1;
-        for (int i = 0; i < n; ++i) {
-            if ((*start)[static_cast<size_t>(i)] >= 0)
-                continue;
-            if (op_idx < 0 || ddg.height(i) > ddg.height(op_idx))
-                op_idx = i;
+        for (size_t w = 0; w < unplaced.size(); ++w) {
+            if (unplaced[w]) {
+                int r = static_cast<int>(
+                    w * 64 +
+                    static_cast<size_t>(std::countr_zero(unplaced[w])));
+                op_idx = by_priority[static_cast<size_t>(r)];
+                break;
+            }
         }
         if (op_idx < 0)
             return true; // all placed.
@@ -131,13 +156,8 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
         }
 
         const Operation &op = ops[static_cast<size_t>(op_idx)];
-        int placed_at = -1, slot = -1;
-        for (int t = estart; t < estart + ii; ++t) {
-            if (table.tryReserve(op, t, &slot)) {
-                placed_at = t;
-                break;
-            }
-        }
+        int slot = -1;
+        int placed_at = table.findFirstFit(op, estart, &slot);
         if (placed_at < 0) {
             // Forced placement: free the modulo row and take it.
             int t = std::max(estart,
@@ -155,6 +175,11 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
         (*start)[static_cast<size_t>(op_idx)] = placed_at;
         slot_of[static_cast<size_t>(op_idx)] = slot;
         prev[static_cast<size_t>(op_idx)] = placed_at;
+        {
+            int r = rank_of[static_cast<size_t>(op_idx)];
+            unplaced[static_cast<size_t>(r) / 64] &=
+                ~(uint64_t{1} << (r % 64));
+        }
 
         // Evict successors whose dependence the new placement breaks.
         for (int e : ddg.succEdges(op_idx)) {
@@ -186,8 +211,17 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
                     machine_.name().c_str(), op.str().c_str());
     }
 
+    stats_.bump("modulo_runs");
     DependenceGraph ddg(ops, machine_.latencyFn(), /*loop_carried=*/true);
     int mii = std::max(resourceMii(ops), ddg.recurrenceMii());
+
+    // Static scheduling priority, shared by every II attempt.
+    std::vector<int> by_priority(static_cast<size_t>(n));
+    std::iota(by_priority.begin(), by_priority.end(), 0);
+    std::stable_sort(by_priority.begin(), by_priority.end(),
+                     [&ddg](int a, int b) {
+                         return ddg.height(a) > ddg.height(b);
+                     });
 
     auto build = [&](int ii,
                      const std::vector<int> &start) -> BlockSchedule {
@@ -217,7 +251,7 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
     bool have_best = false;
     int pressure_retries = 0;
     for (int ii = mii; ii <= mii + 2 * n + 16; ++ii) {
-        if (!attempt(ops, ddg, ii, &start))
+        if (!attempt(ops, ddg, ii, by_priority, &start))
             continue;
         BlockSchedule cand = build(ii, start);
         if (max_live_target <= 0 || cand.maxLive <= max_live_target)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/machine_model.hh"
+#include "obs/stats_registry.hh"
 #include "sched/reservation_table.hh"
 #include "sched/schedule.hh"
 
@@ -52,12 +53,22 @@ class ModuloScheduler
     int resourceMii(const std::vector<Operation> &ops) const;
 
   private:
+    /**
+     * One II try. `by_priority` lists op indices sorted by height
+     * (descending, ties in program order) - the scheduling priority,
+     * which is static per dependence graph, so it is computed once
+     * in schedule() and shared by every attempt.
+     */
     bool attempt(const std::vector<Operation> &ops,
                  const DependenceGraph &ddg, int ii,
+                 const std::vector<int> &by_priority,
                  std::vector<int> *start) const;
 
     const MachineModel &machine_;
     BankOfFn bank_of_;
+    /** Pooled across attempts; reset() per II tried. */
+    mutable ReservationTable table_;
+    obs::StatsScope stats_;
 };
 
 } // namespace vvsp

@@ -1,17 +1,139 @@
 #include "sched/reservation_table.hh"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "support/logging.hh"
 
 namespace vvsp
 {
 
+namespace
+{
+
+/** Alternate units on a slot; ALU ops avoid specialized slots. */
+int
+specialization(const SlotCaps &caps)
+{
+    return (caps.mult ? 1 : 0) + (caps.shift ? 1 : 0) +
+           (caps.memBank != -1 ? 1 : 0);
+}
+
+} // anonymous namespace
+
 ReservationTable::ReservationTable(const MachineModel &machine, int ii,
                                    BankOfFn bank_of, bool width1)
-    : machine_(machine), ii_(ii), bank_of_(std::move(bank_of)),
+    : machine_(machine), bank_of_(std::move(bank_of)), ii_(ii),
       width1_(width1)
 {
+    clusters_ = machine_.clusters();
+    slots_ = machine_.slotsPerCluster();
+    stride_ = clusters_ * slots_;
+    ports_ = machine_.crossbarPortsPerCluster();
+
+    const auto &caps = machine_.slotCaps();
+    // ALU selection: least-specialized free slot, ties by index -
+    // walking a (specialization, index)-sorted list and taking the
+    // first free slot reproduces the historical scan exactly.
+    for (int s = 0; s < slots_; ++s) {
+        const SlotCaps &c = caps[static_cast<size_t>(s)];
+        if (c.alu)
+            aluOrder_.push_back(s);
+        if (c.absDiff)
+            absDiffOrder_.push_back(s);
+        if (c.shift)
+            shiftOrder_.push_back(s);
+        if (c.mult)
+            multOrder_.push_back(s);
+        anySlotOrder_.push_back(s);
+    }
+    auto by_specialization = [&caps](int a, int b) {
+        int sa = specialization(caps[static_cast<size_t>(a)]);
+        int sb = specialization(caps[static_cast<size_t>(b)]);
+        if (sa != sb)
+            return sa < sb;
+        return a < b;
+    };
+    std::sort(aluOrder_.begin(), aluOrder_.end(), by_specialization);
+    std::sort(absDiffOrder_.begin(), absDiffOrder_.end(),
+              by_specialization);
+
+    memOrder_.resize(static_cast<size_t>(
+        std::max(1, machine_.memBanks())));
+    for (size_t bank = 0; bank < memOrder_.size(); ++bank) {
+        for (int s = 0; s < slots_; ++s) {
+            int mb = caps[static_cast<size_t>(s)].memBank;
+            if (mb == -2 || mb == static_cast<int>(bank))
+                memOrder_[bank].push_back(s);
+        }
+    }
+    for (int s = 0; s < slots_; ++s) {
+        if (caps[static_cast<size_t>(s)].memBank == -2)
+            anyBankMemOrder_.push_back(s);
+    }
+
+    // Size the flat state once; acyclic tables grow geometrically.
+    int initial_rows = ii_ > 0 ? ii_ : 64;
+    ensureRows(initial_rows);
+    resetModuloBits();
+}
+
+void
+ReservationTable::resetModuloBits()
+{
+    if (ii_ <= 0) {
+        rowWords_ = 0;
+        return;
+    }
+    rowWords_ = (ii_ + 63) / 64;
+    size_t words = static_cast<size_t>(rowWords_);
+    slotBits_.assign(static_cast<size_t>(stride_) * words, 0);
+    branchBits_.assign(words, 0);
+    sendFullBits_.assign(static_cast<size_t>(clusters_) * words, 0);
+    recvFullBits_.assign(static_cast<size_t>(clusters_) * words, 0);
+}
+
+void
+ReservationTable::reset(int ii, bool width1)
+{
+    ii_ = ii;
+    width1_ = width1;
+    if (rowsTouched_ > 0) {
+        size_t r = static_cast<size_t>(rowsTouched_);
+        std::memset(slotBusy_.data(), 0,
+                    r * static_cast<size_t>(stride_));
+        std::memset(sends_.data(), 0,
+                    r * static_cast<size_t>(clusters_));
+        std::memset(receives_.data(), 0,
+                    r * static_cast<size_t>(clusters_));
+        std::memset(branchBusy_.data(), 0, r);
+        std::memset(totalOps_.data(), 0, r * sizeof(int32_t));
+    }
+    rowsTouched_ = 0;
     if (ii_ > 0)
-        rows_.resize(static_cast<size_t>(ii_));
+        ensureRows(ii_);
+    resetModuloBits();
+}
+
+void
+ReservationTable::ensureRows(int rows)
+{
+    if (rows <= rows_)
+        return;
+    int grown = std::max({rows, 2 * rows_, 64});
+    slotBusy_.resize(static_cast<size_t>(grown) *
+                         static_cast<size_t>(stride_),
+                     0);
+    sends_.resize(static_cast<size_t>(grown) *
+                      static_cast<size_t>(clusters_),
+                  0);
+    receives_.resize(static_cast<size_t>(grown) *
+                         static_cast<size_t>(clusters_),
+                     0);
+    branchBusy_.resize(static_cast<size_t>(grown), 0);
+    totalOps_.resize(static_cast<size_t>(grown), 0);
+    rows_ = grown;
 }
 
 int
@@ -21,150 +143,243 @@ ReservationTable::row(int cycle) const
     return ii_ > 0 ? cycle % ii_ : cycle;
 }
 
-ReservationTable::CycleState &
-ReservationTable::state(int cycle)
+const std::vector<int> &
+ReservationTable::tryOrder(const Operation &op) const
 {
-    size_t r = static_cast<size_t>(row(cycle));
-    if (r >= rows_.size())
-        rows_.resize(r + 1);
-    CycleState &cs = rows_[r];
-    size_t slots = static_cast<size_t>(machine_.clusters() *
-                                       machine_.slotsPerCluster());
-    if (cs.slotBusy.empty()) {
-        cs.slotBusy.assign(slots, 0);
-        cs.sends.assign(static_cast<size_t>(machine_.clusters()), 0);
-        cs.receives.assign(static_cast<size_t>(machine_.clusters()), 0);
-    }
-    return cs;
-}
-
-const ReservationTable::CycleState *
-ReservationTable::stateIfAny(int cycle) const
-{
-    size_t r = static_cast<size_t>(row(cycle));
-    if (r >= rows_.size() || rows_[r].slotBusy.empty())
-        return nullptr;
-    return &rows_[r];
-}
-
-bool
-ReservationTable::slotCompatible(int slot, const Operation &op) const
-{
-    const SlotCaps &caps =
-        machine_.slotCaps()[static_cast<size_t>(slot)];
     switch (op.info().fuClass) {
       case FuClass::Alu:
-        return op.op == Opcode::AbsDiff ? caps.absDiff : caps.alu;
+        return op.op == Opcode::AbsDiff ? absDiffOrder_ : aluOrder_;
       case FuClass::Shift:
-        return caps.shift;
+        return shiftOrder_;
       case FuClass::Mult:
-        return caps.mult;
+        return multOrder_;
       case FuClass::Mem: {
-        if (caps.memBank == -1)
-            return false;
-        if (caps.memBank == -2)
-            return true;
         int bank = bank_of_ ? bank_of_(op.buffer) : 0;
-        return caps.memBank == bank;
+        // Out-of-range banks are served only by any-bank LSU slots.
+        if (bank < 0 || bank >= static_cast<int>(memOrder_.size()))
+            return anyBankMemOrder_;
+        return memOrder_[static_cast<size_t>(bank)];
       }
       case FuClass::Xbar:
-        return true; // any slot can push a value to its port.
       case FuClass::Branch:
       case FuClass::None:
-        return true;
+        return anySlotOrder_; // any slot can push to its port.
     }
-    return false;
+    return anySlotOrder_;
 }
 
 bool
 ReservationTable::tryReserve(const Operation &op, int cycle,
                              int *slot_out)
 {
-    CycleState &cs = state(cycle);
-    const int slots = machine_.slotsPerCluster();
-    const int cluster = op.cluster;
-    vvsp_assert(cluster >= 0 && cluster < machine_.clusters(),
-                "op on cluster %d of %d", cluster, machine_.clusters());
+    int r = row(cycle);
+    ensureRows(r + 1);
+    rowsTouched_ = std::max(rowsTouched_, r + 1);
 
-    if (width1_ && cs.totalOps >= 1)
+    const int cluster = op.cluster;
+    vvsp_assert(cluster >= 0 && cluster < clusters_,
+                "op on cluster %d of %d", cluster, clusters_);
+
+    int32_t &total = totalOps_[static_cast<size_t>(r)];
+    if (width1_ && total >= 1)
         return false;
 
     if (op.info().isBranch) {
-        if (cs.branchBusy)
+        uint8_t &busy = branchBusy_[static_cast<size_t>(r)];
+        if (busy)
             return false;
-        cs.branchBusy = true;
-        cs.totalOps++;
+        busy = 1;
+        total++;
+        if (rowWords_ > 0)
+            branchBits_[static_cast<size_t>(r) / 64] |=
+                uint64_t{1} << (r % 64);
         *slot_out = -1;
         return true;
     }
 
+    uint8_t *send_row =
+        sends_.data() + static_cast<size_t>(r) *
+                            static_cast<size_t>(clusters_);
+    uint8_t *recv_row =
+        receives_.data() + static_cast<size_t>(r) *
+                               static_cast<size_t>(clusters_);
     if (op.op == Opcode::Xfer) {
-        int ports = machine_.crossbarPortsPerCluster();
-        if (cs.sends[static_cast<size_t>(cluster)] >= ports)
+        if (send_row[static_cast<size_t>(cluster)] >= ports_)
             return false;
-        if (cs.receives[static_cast<size_t>(op.dstCluster)] >= ports)
+        if (recv_row[static_cast<size_t>(op.dstCluster)] >= ports_)
             return false;
     }
 
-    // ALU ops prefer the least-specialized free slot so the
-    // alternate-unit slots stay available for the operations that
-    // need them; alternate-unit ops are essentially slot-bound.
+    uint8_t *busy_row =
+        slotBusy_.data() + static_cast<size_t>(r) *
+                               static_cast<size_t>(stride_) +
+        static_cast<size_t>(cluster) * static_cast<size_t>(slots_);
     int chosen = -1;
-    int chosen_specialization = 99;
-    for (int s = 0; s < slots; ++s) {
-        const SlotCaps &caps =
-            machine_.slotCaps()[static_cast<size_t>(s)];
-        if (cs.slotBusy[static_cast<size_t>(cluster * slots + s)])
-            continue;
-        if (!slotCompatible(s, op))
-            continue;
-        int specialization = (caps.mult ? 1 : 0) +
-                             (caps.shift ? 1 : 0) +
-                             (caps.memBank != -1 ? 1 : 0);
-        if (op.info().fuClass != FuClass::Alu) {
+    for (int s : tryOrder(op)) {
+        if (!busy_row[static_cast<size_t>(s)]) {
             chosen = s;
             break;
-        }
-        if (specialization < chosen_specialization) {
-            chosen = s;
-            chosen_specialization = specialization;
         }
     }
     if (chosen < 0)
         return false;
 
-    cs.slotBusy[static_cast<size_t>(cluster * slots + chosen)] = 1;
-    cs.totalOps++;
+    busy_row[static_cast<size_t>(chosen)] = 1;
+    total++;
     if (op.op == Opcode::Xfer) {
-        cs.sends[static_cast<size_t>(cluster)]++;
-        cs.receives[static_cast<size_t>(op.dstCluster)]++;
+        send_row[static_cast<size_t>(cluster)]++;
+        recv_row[static_cast<size_t>(op.dstCluster)]++;
+    }
+    if (rowWords_ > 0) {
+        uint64_t bit = uint64_t{1} << (r % 64);
+        size_t w = static_cast<size_t>(r) / 64;
+        size_t words = static_cast<size_t>(rowWords_);
+        slotBits_[static_cast<size_t>(cluster * slots_ + chosen) *
+                      words +
+                  w] |= bit;
+        if (op.op == Opcode::Xfer) {
+            if (send_row[static_cast<size_t>(cluster)] >= ports_)
+                sendFullBits_[static_cast<size_t>(cluster) * words +
+                              w] |= bit;
+            if (recv_row[static_cast<size_t>(op.dstCluster)] >=
+                ports_)
+                recvFullBits_[static_cast<size_t>(op.dstCluster) *
+                                  words +
+                              w] |= bit;
+        }
     }
     *slot_out = chosen;
     return true;
 }
 
+int
+ReservationTable::findFirstFit(const Operation &op, int estart,
+                               int *slot_out)
+{
+    vvsp_assert(ii_ > 0 && rowWords_ > 0,
+                "findFirstFit needs a modulo table");
+    vvsp_assert(estart >= 0, "negative estart %d", estart);
+    if (width1_) {
+        // width-1 gating is per-row op totals, not tracked in the
+        // bitmaps; keep the exact probing scan for this rare mode.
+        for (int t = estart; t < estart + ii_; ++t) {
+            if (tryReserve(op, t, slot_out))
+                return t;
+        }
+        return -1;
+    }
+
+    // Bitmap of modulo rows that cannot take op.
+    scanScratch_.assign(static_cast<size_t>(rowWords_), 0);
+    uint64_t *busy = scanScratch_.data();
+    const size_t words = static_cast<size_t>(rowWords_);
+    if (op.info().isBranch) {
+        std::memcpy(busy, branchBits_.data(),
+                    words * sizeof(uint64_t));
+    } else {
+        // Blocked when every candidate slot is taken...
+        std::memset(busy, 0xff, words * sizeof(uint64_t));
+        const int cluster = op.cluster;
+        for (int s : tryOrder(op)) {
+            const uint64_t *sb =
+                slotBits_.data() +
+                static_cast<size_t>(cluster * slots_ + s) * words;
+            for (size_t w = 0; w < words; ++w)
+                busy[w] &= sb[w];
+        }
+        // ...or, for transfers, when either port side is saturated.
+        if (op.op == Opcode::Xfer) {
+            const uint64_t *snd =
+                sendFullBits_.data() +
+                static_cast<size_t>(cluster) * words;
+            const uint64_t *rcv =
+                recvFullBits_.data() +
+                static_cast<size_t>(op.dstCluster) * words;
+            for (size_t w = 0; w < words; ++w)
+                busy[w] |= snd[w] | rcv[w];
+        }
+    }
+    // Rows past ii in the last word do not exist.
+    if (ii_ % 64)
+        busy[words - 1] |= ~((uint64_t{1} << (ii_ % 64)) - 1);
+
+    // First free row circularly from estart's row; probing cycles
+    // t = estart, estart+1, ... visits rows in exactly this order.
+    const int r0 = row(estart);
+    auto first_free = [&](int lo, int hi) -> int { // rows [lo, hi).
+        for (int w = lo / 64; w <= (hi - 1) / 64; ++w) {
+            uint64_t free = ~busy[w];
+            if (w == lo / 64 && lo % 64)
+                free &= ~uint64_t{0} << (lo % 64);
+            int end = hi - w * 64;
+            if (end < 64)
+                free &= (uint64_t{1} << end) - 1;
+            if (free)
+                return w * 64 + std::countr_zero(free);
+        }
+        return -1;
+    };
+    int r = first_free(r0, ii_);
+    if (r < 0 && r0 > 0)
+        r = first_free(0, r0);
+    if (r < 0)
+        return -1;
+    int t = estart + (r >= r0 ? r - r0 : r - r0 + ii_);
+    bool ok = tryReserve(op, t, slot_out);
+    vvsp_assert(ok, "free row %d rejected op at t=%d ii=%d", r, t,
+                ii_);
+    return t;
+}
+
 void
 ReservationTable::release(const Operation &op, int cycle, int slot)
 {
-    CycleState &cs = state(cycle);
-    cs.totalOps--;
+    int r = row(cycle);
+    vvsp_assert(r < rowsTouched_, "release of untouched cycle %d",
+                cycle);
+    totalOps_[static_cast<size_t>(r)]--;
+    uint64_t bit = uint64_t{1} << (r % 64);
+    size_t w = static_cast<size_t>(r) / 64;
+    size_t words = static_cast<size_t>(rowWords_);
     if (op.info().isBranch) {
-        cs.branchBusy = false;
+        branchBusy_[static_cast<size_t>(r)] = 0;
+        if (rowWords_ > 0)
+            branchBits_[w] &= ~bit;
         return;
     }
-    const int slots = machine_.slotsPerCluster();
-    cs.slotBusy[static_cast<size_t>(op.cluster * slots + slot)] = 0;
+    slotBusy_[static_cast<size_t>(r) * static_cast<size_t>(stride_) +
+              static_cast<size_t>(op.cluster) *
+                  static_cast<size_t>(slots_) +
+              static_cast<size_t>(slot)] = 0;
+    if (rowWords_ > 0)
+        slotBits_[static_cast<size_t>(op.cluster * slots_ + slot) *
+                      words +
+                  w] &= ~bit;
     if (op.op == Opcode::Xfer) {
-        cs.sends[static_cast<size_t>(op.cluster)]--;
-        cs.receives[static_cast<size_t>(op.dstCluster)]--;
+        sends_[static_cast<size_t>(r) *
+                   static_cast<size_t>(clusters_) +
+               static_cast<size_t>(op.cluster)]--;
+        receives_[static_cast<size_t>(r) *
+                      static_cast<size_t>(clusters_) +
+                  static_cast<size_t>(op.dstCluster)]--;
+        // The decrement leaves the count below ports_, so the
+        // saturation bits always clear.
+        if (rowWords_ > 0) {
+            sendFullBits_[static_cast<size_t>(op.cluster) * words +
+                          w] &= ~bit;
+            recvFullBits_[static_cast<size_t>(op.dstCluster) * words +
+                          w] &= ~bit;
+        }
     }
 }
 
 int
 ReservationTable::opsAt(int cycle) const
 {
-    const CycleState *cs = stateIfAny(cycle);
-    return cs ? cs->totalOps : 0;
+    int r = row(cycle);
+    if (r >= rowsTouched_)
+        return 0;
+    return totalOps_[static_cast<size_t>(r)];
 }
 
 } // namespace vvsp

@@ -8,11 +8,21 @@
  * width-1 constraint used for the paper's sequential baselines
  * ("limited to one operation per instruction"). For modulo
  * scheduling the table wraps modulo the initiation interval.
+ *
+ * The table is built for reuse on the scheduler hot path: all
+ * per-cycle state lives in flat arrays whose strides are fixed once
+ * from the MachineModel (no per-row allocation when the backtracking
+ * modulo search touches a fresh cycle), the slot-selection policy is
+ * precomputed into per-operation-class candidate orders, and reset()
+ * rewinds the table for the next scheduling attempt without
+ * releasing storage. Schedulers therefore keep one pooled table per
+ * instance instead of constructing one per attempt.
  */
 
 #ifndef VVSP_SCHED_RESERVATION_TABLE_HH
 #define VVSP_SCHED_RESERVATION_TABLE_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -38,6 +48,12 @@ class ReservationTable
                      BankOfFn bank_of, bool width1 = false);
 
     /**
+     * Rewind every reservation and switch to a new interval/width
+     * mode, keeping the allocated storage (the pooled-reuse path).
+     */
+    void reset(int ii, bool width1 = false);
+
+    /**
      * Try to reserve resources for op at the given cycle; on success
      * records the reservation and returns the chosen slot in
      * *slot_out (-1 for control-slot ops). The op's cluster field
@@ -46,6 +62,17 @@ class ReservationTable
      */
     bool tryReserve(const Operation &op, int cycle, int *slot_out);
 
+    /**
+     * Modulo tables only (ii > 0): earliest cycle in
+     * [estart, estart + ii) where op fits, reserving it there and
+     * returning the cycle (slot in *slot_out), or -1 when no modulo
+     * row can take it. Exactly equivalent to probing tryReserve at
+     * estart, estart+1, ... — each modulo row's availability is read
+     * from per-resource row bitmaps, so the scan is a handful of
+     * word operations instead of ii slot walks.
+     */
+    int findFirstFit(const Operation &op, int estart, int *slot_out);
+
     /** Release a previous reservation (modulo-scheduler eviction). */
     void release(const Operation &op, int cycle, int slot);
 
@@ -53,27 +80,57 @@ class ReservationTable
     int opsAt(int cycle) const;
 
   private:
-    struct CycleState
-    {
-        /** slotBusy[cluster * slots + slot]. */
-        std::vector<uint8_t> slotBusy;
-        std::vector<uint8_t> sends;    ///< per-cluster crossbar sends.
-        std::vector<uint8_t> receives; ///< per-cluster receives.
-        bool branchBusy = false;
-        int totalOps = 0;
-    };
-
-    CycleState &state(int cycle);
-    const CycleState *stateIfAny(int cycle) const;
     int row(int cycle) const;
+    void ensureRows(int rows);
+    void resetModuloBits();
 
-    bool slotCompatible(int slot, const Operation &op) const;
+    /** Candidate slots for an op, in reservation-preference order. */
+    const std::vector<int> &tryOrder(const Operation &op) const;
 
     const MachineModel &machine_;
-    int ii_;
     BankOfFn bank_of_;
+    int ii_;
     bool width1_;
-    std::vector<CycleState> rows_;
+
+    int clusters_ = 0;
+    int slots_ = 0;  ///< issue slots per cluster.
+    int stride_ = 0; ///< clusters * slots.
+    int ports_ = 0;  ///< crossbar ports per cluster.
+
+    /**
+     * Precomputed slot orders. ALU ops prefer the least-specialized
+     * free slot (so alternate-unit slots stay available); alternate
+     * units take the first capable slot in index order.
+     */
+    std::vector<int> aluOrder_;
+    std::vector<int> absDiffOrder_;
+    std::vector<int> shiftOrder_;
+    std::vector<int> multOrder_;
+    std::vector<std::vector<int>> memOrder_; ///< by bank.
+    std::vector<int> anyBankMemOrder_;       ///< memBank == -2 only.
+    std::vector<int> anySlotOrder_;          ///< Xfer & friends.
+
+    /** Flat per-row state; row r occupies [r*stride, (r+1)*stride). */
+    std::vector<uint8_t> slotBusy_;  ///< rows x stride.
+    std::vector<uint8_t> sends_;     ///< rows x clusters.
+    std::vector<uint8_t> receives_;  ///< rows x clusters.
+    std::vector<uint8_t> branchBusy_;///< rows.
+    std::vector<int32_t> totalOps_;  ///< rows.
+    int rows_ = 0;       ///< allocated row capacity.
+    int rowsTouched_ = 0;///< high-water mark, bounds reset() work.
+
+    /**
+     * Modulo-mode row bitmaps, mirrored by tryReserve()/release()
+     * when ii > 0: bit r set means modulo row r cannot supply the
+     * resource. findFirstFit() combines them per op class instead of
+     * probing rows one by one.
+     */
+    int rowWords_ = 0; ///< 64-bit words per bitmap; 0 when ii == 0.
+    std::vector<uint64_t> slotBits_;     ///< (cluster,slot) x words.
+    std::vector<uint64_t> branchBits_;   ///< words.
+    std::vector<uint64_t> sendFullBits_; ///< clusters x words.
+    std::vector<uint64_t> recvFullBits_; ///< clusters x words.
+    std::vector<uint64_t> scanScratch_;  ///< findFirstFit workspace.
 };
 
 } // namespace vvsp

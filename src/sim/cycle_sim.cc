@@ -6,9 +6,11 @@
 #include "ir/dependence_graph.hh"
 #include "kernels/composer.hh"
 #include "obs/sim_telemetry.hh"
+#include "obs/stats_registry.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo_scheduler.hh"
 #include "sched/reservation_table.hh"
+#include "sim/decoded_trace.hh"
 #include "sim/interpreter.hh"
 #include "support/logging.hh"
 
@@ -43,14 +45,29 @@ struct CycleSim::Engine
         }
     };
 
+    /**
+     * One cached group: the schedule plus its decoded, execution-
+     * ordered micro-op trace. The trace is built exactly once, when
+     * the schedule enters the cache, so repeated executions perform
+     * no sorting, hashing of ops, or OpcodeInfo lookups.
+     */
+    struct CachedGroup
+    {
+        BlockSchedule sched;
+        DecodedTrace trace;
+    };
+
     /** Schedule cache, keyed by the group's first op id and size.
      *  Hit once per executed group - hot enough to want O(1). */
-    std::unordered_map<std::pair<int, size_t>, BlockSchedule,
+    std::unordered_map<std::pair<int, size_t>, CachedGroup,
                        GroupKeyHash>
         acyclicCache;
-    std::unordered_map<int, BlockSchedule> moduloCache; // by loop id.
+    std::unordered_map<int, CachedGroup> moduloCache; // by loop id.
     std::unordered_map<int, std::vector<Operation>> ctrlCache;
     std::unordered_map<int, std::vector<Operation>> swpOpsCache;
+
+    /** Decode/sort counters (null-sink scope when stats are off). */
+    obs::StatsScope simStats;
 
     /** Telemetry sink; null when the run is uninstrumented. */
     obs::GroupTelemetry *telem = nullptr;
@@ -70,7 +87,8 @@ struct CycleSim::Engine
            MemoryImage &image, BankOfFn bank_of)
         : fn(f), machine(m), mode(md), mem(image), lsched(m, bank_of),
           msched(m, bank_of), bankOf(bank_of),
-          regs(f.numVregs() + 4096, 0)
+          regs(f.numVregs() + 4096, 0),
+          simStats(obs::globalScope("sim"))
     {
     }
 
@@ -95,45 +113,6 @@ struct CycleSim::Engine
     {
         if (fn.numVregs() > regs.size())
             regs.resize(fn.numVregs() + 4096, 0);
-    }
-
-    /** Functionally execute one op against current state. */
-    void
-    execute(const Operation &op)
-    {
-        if (op.op == Opcode::Nop)
-            return;
-        if (op.info().isBranch)
-            return; // control handled by the tree walk.
-        bool holds = !op.isPredicated() ||
-                     (value(op.pred) != 0) == op.predSense;
-        if (!holds) {
-            report.nullified++;
-            return;
-        }
-        report.operations++;
-        switch (op.op) {
-          case Opcode::Load: {
-            int addr = static_cast<uint16_t>(value(op.src[0]) +
-                                             value(op.src[1]));
-            regs.at(op.dst) = mem.read(op.buffer, addr);
-            break;
-          }
-          case Opcode::Store: {
-            int addr = static_cast<uint16_t>(value(op.src[1]) +
-                                             value(op.src[2]));
-            mem.write(op.buffer, addr, value(op.src[0]));
-            break;
-          }
-          case Opcode::Xfer:
-            report.transfers++;
-            regs.at(op.dst) = value(op.src[0]);
-            break;
-          default:
-            regs.at(op.dst) = alu16::evaluate(op.op, value(op.src[0]),
-                                              value(op.src[1]),
-                                              value(op.src[2]));
-        }
     }
 
     /**
@@ -222,27 +201,19 @@ struct CycleSim::Engine
                         std::to_string(key.first),
                     pending, sched, machine);
             }
-            it = acyclicCache.emplace(key, std::move(sched)).first;
+            // The one and only issue-order sort for this group; every
+            // later execution replays the decoded trace.
+            simStats.bump("acyclic_group_sorts");
+            DecodedTrace decoded(pending, &sched);
+            it = acyclicCache
+                     .emplace(key, CachedGroup{std::move(sched),
+                                               std::move(decoded)})
+                     .first;
         }
-        const BlockSchedule &sched = it->second;
+        const BlockSchedule &sched = it->second.sched;
 
-        // Execute in issue order; program order within a cycle is
-        // safe: anti-dependences always point forward in program
-        // order.
-        std::vector<size_t> order(pending.size());
-        for (size_t i = 0; i < order.size(); ++i)
-            order[i] = i;
-        std::stable_sort(order.begin(), order.end(),
-                         [&sched](size_t a, size_t b) {
-                             if (sched.placed[a].cycle !=
-                                 sched.placed[b].cycle) {
-                                 return sched.placed[a].cycle <
-                                        sched.placed[b].cycle;
-                             }
-                             return a < b;
-                         });
-        for (size_t i : order)
-            execute(pending[i]);
+        simStats.bump("acyclic_group_execs");
+        it->second.trace.execute(regs, mem, report);
 
         if (telem) {
             auto tit = acyclicTelem.find(key);
@@ -321,18 +292,30 @@ struct CycleSim::Engine
                                          loop.label,
                                      ops, sched, machine);
             }
-            mit = moduloCache.emplace(loop.id, std::move(sched)).first;
+            simStats.bump("swp_loop_schedules");
+            // Trip bodies execute in program order (iteration
+            // overlap is accounted analytically), so decode without
+            // the schedule's issue order.
+            DecodedTrace decoded(ops, nullptr);
+            mit = moduloCache
+                      .emplace(loop.id, CachedGroup{std::move(sched),
+                                                    std::move(decoded)})
+                      .first;
         }
-        const BlockSchedule &sched = mit->second;
+        const BlockSchedule &sched = mit->second.sched;
+        const DecodedTrace &decoded = mit->second.trace;
 
         uint16_t base = value(loop.ivInit);
+        if (loop.tripCount > 0 && loop.inductionVar != kNoVreg) {
+            vvsp_assert(loop.inductionVar < regs.size(),
+                        "v%u out of range", loop.inductionVar);
+        }
         for (long k = 0; k < loop.tripCount; ++k) {
             if (loop.inductionVar != kNoVreg) {
-                regs.at(loop.inductionVar) = static_cast<uint16_t>(
+                regs[loop.inductionVar] = static_cast<uint16_t>(
                     base + k * loop.step);
             }
-            for (const auto &op : ops)
-                execute(op);
+            decoded.execute(regs, mem, report);
         }
         if (telem && loop.tripCount > 0) {
             auto tit = moduloTelem.find(loop.id);

@@ -1,0 +1,256 @@
+#include "sim/decoded_trace.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/alu16.hh"
+#include "sim/cycle_sim.hh"
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+/**
+ * Fetch source operand I: register read or pre-truncated immediate.
+ * The immediate branch is perfectly predictable per op (the flag
+ * never changes for a given DecodedOp).
+ */
+template <int I>
+inline uint16_t
+fetch(const DecodedOp &d, const ExecContext &ctx)
+{
+    constexpr uint8_t bit = 1u << I;
+    if (d.flags & bit)
+        return static_cast<uint16_t>(d.src[I]);
+#ifdef VVSP_SANITIZE
+    vvsp_assert(d.src[I] < ctx.numRegs, "v%u out of range", d.src[I]);
+#endif
+    return ctx.regs[d.src[I]];
+}
+
+inline void
+store(const DecodedOp &d, ExecContext &ctx, uint16_t v)
+{
+#ifdef VVSP_SANITIZE
+    vvsp_assert(d.dst < ctx.numRegs, "v%u out of range", d.dst);
+#endif
+    ctx.regs[d.dst] = v;
+}
+
+/** ALU-class ops: the evaluate switch folds per instantiation. */
+template <Opcode OP>
+void
+execAlu1(const DecodedOp &d, ExecContext &ctx)
+{
+    store(d, ctx, alu16::evaluate(OP, fetch<0>(d, ctx), 0, 0));
+}
+
+template <Opcode OP>
+void
+execAlu2(const DecodedOp &d, ExecContext &ctx)
+{
+    store(d, ctx,
+          alu16::evaluate(OP, fetch<0>(d, ctx), fetch<1>(d, ctx), 0));
+}
+
+template <Opcode OP>
+void
+execAlu3(const DecodedOp &d, ExecContext &ctx)
+{
+    store(d, ctx,
+          alu16::evaluate(OP, fetch<0>(d, ctx), fetch<1>(d, ctx),
+                          fetch<2>(d, ctx)));
+}
+
+void
+execLoad(const DecodedOp &d, ExecContext &ctx)
+{
+    int addr = static_cast<uint16_t>(fetch<0>(d, ctx) +
+                                     fetch<1>(d, ctx));
+    store(d, ctx, ctx.mem->read(d.buffer, addr));
+}
+
+void
+execStore(const DecodedOp &d, ExecContext &ctx)
+{
+    int addr = static_cast<uint16_t>(fetch<1>(d, ctx) +
+                                     fetch<2>(d, ctx));
+    ctx.mem->write(d.buffer, addr, fetch<0>(d, ctx));
+}
+
+void
+execXfer(const DecodedOp &d, ExecContext &ctx)
+{
+    ctx.report->transfers++;
+    store(d, ctx, fetch<0>(d, ctx));
+}
+
+ExecFn
+execFnFor(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+        return &execAlu1<Opcode::Mov>;
+      case Opcode::Add:
+        return &execAlu2<Opcode::Add>;
+      case Opcode::Sub:
+        return &execAlu2<Opcode::Sub>;
+      case Opcode::Abs:
+        return &execAlu1<Opcode::Abs>;
+      case Opcode::AbsDiff:
+        return &execAlu2<Opcode::AbsDiff>;
+      case Opcode::Min:
+        return &execAlu2<Opcode::Min>;
+      case Opcode::Max:
+        return &execAlu2<Opcode::Max>;
+      case Opcode::And:
+        return &execAlu2<Opcode::And>;
+      case Opcode::Or:
+        return &execAlu2<Opcode::Or>;
+      case Opcode::Xor:
+        return &execAlu2<Opcode::Xor>;
+      case Opcode::Not:
+        return &execAlu1<Opcode::Not>;
+      case Opcode::Neg:
+        return &execAlu1<Opcode::Neg>;
+      case Opcode::CmpEq:
+        return &execAlu2<Opcode::CmpEq>;
+      case Opcode::CmpNe:
+        return &execAlu2<Opcode::CmpNe>;
+      case Opcode::CmpLt:
+        return &execAlu2<Opcode::CmpLt>;
+      case Opcode::CmpLe:
+        return &execAlu2<Opcode::CmpLe>;
+      case Opcode::CmpGt:
+        return &execAlu2<Opcode::CmpGt>;
+      case Opcode::CmpGe:
+        return &execAlu2<Opcode::CmpGe>;
+      case Opcode::CmpLtU:
+        return &execAlu2<Opcode::CmpLtU>;
+      case Opcode::Select:
+        return &execAlu3<Opcode::Select>;
+      case Opcode::Shl:
+        return &execAlu2<Opcode::Shl>;
+      case Opcode::Shr:
+        return &execAlu2<Opcode::Shr>;
+      case Opcode::Sra:
+        return &execAlu2<Opcode::Sra>;
+      case Opcode::Mul8:
+        return &execAlu2<Opcode::Mul8>;
+      case Opcode::MulU8:
+        return &execAlu2<Opcode::MulU8>;
+      case Opcode::MulUU8:
+        return &execAlu2<Opcode::MulUU8>;
+      case Opcode::Mul16Lo:
+        return &execAlu2<Opcode::Mul16Lo>;
+      case Opcode::Mul16Hi:
+        return &execAlu2<Opcode::Mul16Hi>;
+      case Opcode::Load:
+        return &execLoad;
+      case Opcode::Store:
+        return &execStore;
+      case Opcode::Xfer:
+        return &execXfer;
+      case Opcode::Nop:
+      case Opcode::Br:
+      case Opcode::BrCond:
+        return nullptr; // dropped at decode time.
+    }
+    return nullptr;
+}
+
+} // anonymous namespace
+
+DecodedTrace::DecodedTrace(const std::vector<Operation> &ops,
+                           const BlockSchedule *sched)
+{
+    // Execution order: issue order under a schedule (cycle, then
+    // program order - anti-dependences always point forward in
+    // program order, so intra-cycle program order is safe), program
+    // order otherwise. This is the one and only sort for the group.
+    std::vector<size_t> order(ops.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    if (sched) {
+        std::stable_sort(order.begin(), order.end(),
+                         [sched](size_t a, size_t b) {
+                             return sched->placed[a].cycle <
+                                    sched->placed[b].cycle;
+                         });
+    }
+
+    ops_.reserve(ops.size());
+    for (size_t i : order) {
+        const Operation &op = ops[i];
+        if (op.op == Opcode::Nop || op.info().isBranch)
+            continue;
+        DecodedOp d;
+        d.fn = execFnFor(op.op);
+        vvsp_assert(d.fn, "undecodable op '%s'", op.str().c_str());
+        d.buffer = op.buffer;
+        if (op.info().hasDst) {
+            d.dst = op.dst;
+            maxReg_ = std::max(maxReg_, d.dst);
+        }
+        for (int s = 0; s < 3; ++s) {
+            const Operand &o = op.src[static_cast<size_t>(s)];
+            if (o.isReg()) {
+                d.src[s] = o.reg;
+                maxReg_ = std::max(maxReg_, d.src[s]);
+            } else {
+                // None reads as 0, like Engine::value() did.
+                d.flags |= static_cast<uint8_t>(1u << s);
+                d.src[s] = static_cast<uint16_t>(o.imm);
+            }
+        }
+        if (op.isPredicated()) {
+            d.flags |= DecodedOp::kPredicated;
+            if (op.predSense)
+                d.flags |= DecodedOp::kPredSense;
+            vvsp_assert(op.pred.isReg(), "non-register predicate");
+            d.pred = op.pred.reg;
+            maxReg_ = std::max(maxReg_, d.pred);
+        }
+        ops_.push_back(d);
+    }
+}
+
+void
+DecodedTrace::execute(std::vector<uint16_t> &regs, MemoryImage &mem,
+                      CycleSimReport &report) const
+{
+    if (ops_.empty())
+        return;
+    // One capacity validation covers every unchecked access below.
+    vvsp_assert(static_cast<size_t>(maxReg_) < regs.size(),
+                "v%u out of range (regfile %zu)", maxReg_,
+                regs.size());
+    ExecContext ctx;
+    ctx.regs = regs.data();
+#ifdef VVSP_SANITIZE
+    ctx.numRegs = regs.size();
+#endif
+    ctx.mem = &mem;
+    ctx.report = &report;
+
+    uint64_t executed = 0;
+    uint64_t nullified = 0;
+    for (const DecodedOp &d : ops_) {
+        if (d.flags & DecodedOp::kPredicated) {
+            bool holds = (ctx.regs[d.pred] != 0) ==
+                         ((d.flags & DecodedOp::kPredSense) != 0);
+            if (!holds) {
+                ++nullified;
+                continue;
+            }
+        }
+        ++executed;
+        d.fn(d, ctx);
+    }
+    report.operations += executed;
+    report.nullified += nullified;
+}
+
+} // namespace vvsp

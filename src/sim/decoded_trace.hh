@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Decoded micro-op traces: the cycle simulator's hot execution path.
+ *
+ * The functional inner loop of CycleSim used to re-discover, for
+ * every executed operation, facts that never change for a cached
+ * schedule: the issue order of the group, each operand's
+ * register-vs-immediate discriminator, and the opcode's dispatch
+ * target. A DecodedTrace bakes all of that in once, when the group's
+ * schedule enters the schedule cache:
+ *
+ *  - operations are flattened into a dense array in their final
+ *    execution order (issue order for acyclic groups, program order
+ *    for software-pipelined loop bodies - matching what the engine
+ *    always executed);
+ *  - every operand is pre-resolved to either a register index or a
+ *    16-bit immediate value, discriminated by per-op flags;
+ *  - the opcode is dispatched through a per-op function pointer, so
+ *    steady-state execution performs no opcode switch and no
+ *    OpcodeInfo lookups;
+ *  - branches and nops are dropped at decode time (control flow is
+ *    handled by the engine's tree walk, exactly as before).
+ *
+ * Register accesses are unchecked in the trip loop: the trace records
+ * the highest register index it can touch, and execute() validates
+ * the register file capacity once per call (the checked per-access
+ * path is kept under VVSP_SANITIZE builds). Counter semantics are
+ * identical to the old per-op switch: `operations` counts executed
+ * non-branch non-nop ops, `nullified` counts predicated-off ops, and
+ * `transfers` counts executed crossbar moves.
+ */
+
+#ifndef VVSP_SIM_DECODED_TRACE_HH
+#define VVSP_SIM_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/operation.hh"
+#include "sched/schedule.hh"
+#include "sim/memory_image.hh"
+
+namespace vvsp
+{
+
+struct CycleSimReport;
+struct DecodedOp;
+
+/** Mutable state a decoded op executes against. */
+struct ExecContext
+{
+    uint16_t *regs = nullptr;
+#ifdef VVSP_SANITIZE
+    size_t numRegs = 0;
+#endif
+    MemoryImage *mem = nullptr;
+    CycleSimReport *report = nullptr;
+};
+
+/** Per-op executor; dispatch is one indirect call, no switch. */
+using ExecFn = void (*)(const DecodedOp &, ExecContext &);
+
+/** One pre-resolved micro-op. */
+struct DecodedOp
+{
+    /** flags bits. */
+    enum : uint8_t
+    {
+        kImm0 = 1 << 0,       ///< src[0] is an immediate value.
+        kImm1 = 1 << 1,       ///< src[1] is an immediate value.
+        kImm2 = 1 << 2,       ///< src[2] is an immediate value.
+        kPredicated = 1 << 3, ///< guarded by the pred register.
+        kPredSense = 1 << 4,  ///< sense the guard must match.
+    };
+
+    ExecFn fn = nullptr;
+    uint8_t flags = 0;
+    uint32_t dst = 0;
+    /** Register index, or pre-truncated immediate (per flags). */
+    uint32_t src[3] = {0, 0, 0};
+    uint32_t pred = 0; ///< guard register index (kPredicated only).
+    int32_t buffer = -1;
+};
+
+/** A flattened, execution-ordered micro-op array for one group. */
+class DecodedTrace
+{
+  public:
+    DecodedTrace() = default;
+
+    /**
+     * Decode `ops` in execution order. When `sched` is non-null the
+     * order is issue order (schedule cycle, program order within a
+     * cycle); otherwise program order (the software-pipelined trip
+     * loop's order). Branches and nops are dropped.
+     */
+    DecodedTrace(const std::vector<Operation> &ops,
+                 const BlockSchedule *sched);
+
+    /**
+     * Execute every micro-op once against the context state.
+     * Validates register-file capacity once up front; per-access
+     * checks only under VVSP_SANITIZE.
+     */
+    void execute(std::vector<uint16_t> &regs, MemoryImage &mem,
+                 CycleSimReport &report) const;
+
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+
+    /** Highest register index any micro-op can read or write. */
+    uint32_t maxReg() const { return maxReg_; }
+
+  private:
+    std::vector<DecodedOp> ops_;
+    uint32_t maxReg_ = 0;
+};
+
+} // namespace vvsp
+
+#endif // VVSP_SIM_DECODED_TRACE_HH

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ir/function.hh"
+#include "sim/alu16.hh"
 #include "sim/memory_image.hh"
 
 namespace vvsp
@@ -38,15 +39,6 @@ struct Profile
 
     explicit Profile(int num_node_ids = 0);
 };
-
-/** 16-bit arithmetic helpers shared with the cycle simulator. */
-namespace alu16
-{
-
-/** Evaluate a non-memory, non-control opcode on 16-bit values. */
-uint16_t evaluate(Opcode op, uint16_t a, uint16_t b, uint16_t c);
-
-} // namespace alu16
 
 /** Functional IR interpreter. */
 class Interpreter

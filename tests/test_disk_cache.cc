@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Persistent experiment cache: round trips, robustness against
+ * corrupt/truncated/mismatched entries (all must degrade to misses,
+ * never crashes or wrong results), atomicity under concurrent
+ * writers, equality of disk-cached and cold evaluations, and the
+ * decoded-trace sort-once counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/models.hh"
+#include "core/disk_cache.hh"
+#include "core/experiment_cache.hh"
+#include "core/sweep.hh"
+#include "obs/stats_registry.hh"
+#include "sim/cycle_sim.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+/** Fresh cache directory, removed on destruction. */
+struct TempDir
+{
+    TempDir()
+    {
+        static int seq = 0;
+        path = (std::filesystem::temp_directory_path() /
+                ("vvsp-disk-cache-test-" +
+                 std::to_string(::getpid()) + "-" +
+                 std::to_string(seq++)))
+                   .string();
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+ExperimentResult
+sampleResult(double salt = 0.0)
+{
+    ExperimentResult res;
+    res.kernel = "Full Motion Search";
+    res.variant = "Add spec. op (blocked)";
+    res.model = "I4C8S4";
+    res.note = "line1\nline2 \"quoted\"";
+    res.cyclesPerUnit = 123.456 + salt;
+    res.cyclesPerFrame = 1.65e6 + salt;
+    res.unitsPerFrame = 1350;
+    res.replication = 2;
+    res.checked = true;
+    res.passed = true;
+    res.comp.cyclesPerUnit = 123.456 + salt;
+    res.comp.totalInstructions = 321;
+    res.comp.hotLoopInstructions = 64;
+    res.comp.maxLive = 19;
+    res.comp.icacheOk = true;
+    res.comp.registersOk = false;
+    res.comp.opsPerUnit = 4242.5;
+    RegionCost r;
+    r.label = "y loop";
+    r.execCount = 16.0;
+    r.length = 12;
+    r.ii = 3;
+    r.cycles = 99.5 + salt;
+    r.instructions = 40;
+    r.maxLive = 17;
+    res.comp.regions = {r, r};
+    return res;
+}
+
+void
+expectEqual(const ExperimentResult &a, const ExperimentResult &b)
+{
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.note, b.note);
+    EXPECT_EQ(a.cyclesPerUnit, b.cyclesPerUnit);
+    EXPECT_EQ(a.cyclesPerFrame, b.cyclesPerFrame);
+    EXPECT_EQ(a.unitsPerFrame, b.unitsPerFrame);
+    EXPECT_EQ(a.replication, b.replication);
+    EXPECT_EQ(a.checked, b.checked);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.comp.cyclesPerUnit, b.comp.cyclesPerUnit);
+    EXPECT_EQ(a.comp.totalInstructions, b.comp.totalInstructions);
+    EXPECT_EQ(a.comp.hotLoopInstructions,
+              b.comp.hotLoopInstructions);
+    EXPECT_EQ(a.comp.maxLive, b.comp.maxLive);
+    EXPECT_EQ(a.comp.icacheOk, b.comp.icacheOk);
+    EXPECT_EQ(a.comp.registersOk, b.comp.registersOk);
+    EXPECT_EQ(a.comp.opsPerUnit, b.comp.opsPerUnit);
+    ASSERT_EQ(a.comp.regions.size(), b.comp.regions.size());
+    for (size_t i = 0; i < a.comp.regions.size(); ++i) {
+        EXPECT_EQ(a.comp.regions[i].label, b.comp.regions[i].label);
+        EXPECT_EQ(a.comp.regions[i].execCount,
+                  b.comp.regions[i].execCount);
+        EXPECT_EQ(a.comp.regions[i].length, b.comp.regions[i].length);
+        EXPECT_EQ(a.comp.regions[i].ii, b.comp.regions[i].ii);
+        EXPECT_EQ(a.comp.regions[i].cycles, b.comp.regions[i].cycles);
+        EXPECT_EQ(a.comp.regions[i].instructions,
+                  b.comp.regions[i].instructions);
+        EXPECT_EQ(a.comp.regions[i].maxLive,
+                  b.comp.regions[i].maxLive);
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &body)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << body;
+}
+
+TEST(DiskCache, RoundTripIsBitIdentical)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ExperimentResult in = sampleResult();
+    ASSERT_TRUE(disk.store("key-a", in));
+
+    ExperimentResult out;
+    ASSERT_TRUE(disk.load("key-a", out));
+    expectEqual(in, out);
+    EXPECT_FALSE(disk.load("key-never-stored", out));
+}
+
+TEST(DiskCache, KeyEchoRejectsHashCollision)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ASSERT_TRUE(disk.store("key-a", sampleResult()));
+
+    // Simulate another key hashing to the same file: the entry's
+    // embedded key no longer matches, so it must read as a miss.
+    std::filesystem::rename(disk.entryPath("key-a"),
+                            disk.entryPath("key-b"));
+    ExperimentResult out;
+    EXPECT_FALSE(disk.load("key-b", out));
+}
+
+TEST(DiskCache, CorruptEntryIsAMiss)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ASSERT_TRUE(disk.store("key-a", sampleResult()));
+    std::string path = disk.entryPath("key-a");
+
+    writeFile(path, "not an entry at all\n\x01\x02\x03");
+    ExperimentResult out;
+    EXPECT_FALSE(disk.load("key-a", out));
+
+    // A corrupt entry must not poison the slot: a rewrite heals it.
+    ASSERT_TRUE(disk.store("key-a", sampleResult()));
+    EXPECT_TRUE(disk.load("key-a", out));
+}
+
+TEST(DiskCache, TruncatedEntryIsAMiss)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ASSERT_TRUE(disk.store("key-a", sampleResult()));
+    std::string path = disk.entryPath("key-a");
+    std::string body = readFile(path);
+    ASSERT_GT(body.size(), 8u);
+
+    // Every prefix must fail cleanly (the "end" trailer is the last
+    // line, so any cut loses it).
+    for (size_t cut : {body.size() - 4, body.size() / 2, size_t{10}}) {
+        writeFile(path, body.substr(0, cut));
+        ExperimentResult out;
+        EXPECT_FALSE(disk.load("key-a", out)) << "cut=" << cut;
+    }
+}
+
+TEST(DiskCache, VersionMismatchIsAMiss)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ASSERT_TRUE(disk.store("key-a", sampleResult()));
+    std::string path = disk.entryPath("key-a");
+    std::string body = readFile(path);
+
+    // Bump the version in the header line; the payload stays valid.
+    size_t nl = body.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    writeFile(path, "vvsp-experiment-cache 9999" + body.substr(nl));
+    ExperimentResult out;
+    EXPECT_FALSE(disk.load("key-a", out));
+
+    writeFile(path, "other-magic 1" + body.substr(nl));
+    EXPECT_FALSE(disk.load("key-a", out));
+}
+
+TEST(DiskCache, ConcurrentWritersStayAtomic)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+
+    // Hammer one entry from many threads with distinguishable
+    // payloads. Atomic rename publication means a concurrent load
+    // sees either nothing or one complete entry - never a blend.
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 25;
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&disk, w] {
+            for (int i = 0; i < kRounds; ++i)
+                disk.store("shared-key", sampleResult(w));
+        });
+    }
+    std::atomic<bool> stop{false};
+    std::thread reader([&disk, &stop] {
+        ExperimentResult out;
+        while (!stop.load()) {
+            if (disk.load("shared-key", out)) {
+                // A complete entry from exactly one writer.
+                double salt =
+                    std::round(out.cyclesPerUnit - 123.456);
+                EXPECT_EQ(out.cyclesPerFrame, 1.65e6 + salt);
+                EXPECT_EQ(out.comp.regions.size(), 2u);
+            }
+        }
+    });
+    for (auto &t : threads)
+        t.join();
+    stop.store(true);
+    reader.join();
+
+    ExperimentResult out;
+    ASSERT_TRUE(disk.load("shared-key", out));
+    // Whichever writer renamed last owns the entry; recover its id
+    // exactly (123.456 + w - 123.456 is not w in doubles).
+    double salt = std::round(out.cyclesPerUnit - 123.456);
+    expectEqual(sampleResult(salt), out);
+
+    // No leaked temp files once every writer has renamed or cleaned.
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir.path)) {
+        EXPECT_EQ(e.path().extension(), ".entry")
+            << e.path().string();
+    }
+}
+
+TEST(DiskCache, ExperimentCacheFallsBackToRecompute)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    ExperimentCache cache;
+    cache.setDiskCache(&disk);
+
+    // Disk holds a corrupt entry for the key: both layers miss and
+    // the caller recomputes, then the store heals the entry.
+    writeFile(disk.entryPath("cell"), "garbage");
+    ExperimentResult out;
+    EXPECT_FALSE(cache.findResult("cell", "I4C8S4", out));
+    ExperimentCacheStats s = cache.stats();
+    EXPECT_EQ(s.diskMisses, 1u);
+    EXPECT_EQ(s.resultMisses, 1u);
+
+    cache.storeResult("cell", sampleResult());
+    EXPECT_EQ(cache.stats().diskStores, 1u);
+
+    // A second process (fresh memory cache) now hits the disk.
+    ExperimentCache fresh;
+    fresh.setDiskCache(&disk);
+    ASSERT_TRUE(fresh.findResult("cell", "RENAMED", out));
+    EXPECT_EQ(out.model, "RENAMED"); // display name patched.
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    EXPECT_EQ(fresh.stats().resultHits, 0u);
+}
+
+TEST(DiskCache, DiskWarmGridMatchesColdBitExactly)
+{
+    // A small (variant x model) grid evaluated cold, then re-read
+    // through a fresh memory cache backed by the populated disk
+    // directory: every cell must be bit-identical.
+    const KernelSpec &k = kernelByName("Three-step Search");
+    std::vector<ExperimentRequest> grid;
+    for (size_t vi = 0; vi < k.variants.size() && vi < 2; ++vi) {
+        for (const char *name : {"I4C8S4", "I2C16S4"}) {
+            ExperimentRequest req;
+            req.kernel = &k;
+            req.variant = &k.variants[vi];
+            req.model = models::byName(name);
+            req.profileUnits = 1;
+            grid.push_back(req);
+        }
+    }
+
+    std::vector<ExperimentResult> cold;
+    for (const ExperimentRequest &req : grid)
+        cold.push_back(runExperiment(req));
+
+    TempDir dir;
+    DiskCache disk(dir.path);
+    {
+        ExperimentCache fill;
+        fill.setDiskCache(&disk);
+        for (const ExperimentRequest &req : grid)
+            runExperiment(req, &fill);
+    }
+
+    ExperimentCache warm;
+    warm.setDiskCache(&disk);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        ExperimentResult res = runExperiment(grid[i], &warm);
+        expectEqual(cold[i], res);
+    }
+    EXPECT_EQ(warm.stats().diskHits, grid.size());
+    EXPECT_EQ(warm.stats().resultMisses, 0u);
+}
+
+TEST(DecodedTrace, AcyclicGroupsSortOncePerGroup)
+{
+    // The schedule cache means each distinct acyclic group is sorted
+    // into issue order exactly once; later executions replay the
+    // decoded trace. A motion-search unit re-executes its groups many
+    // times, so sorts must be strictly rarer than executions.
+    const KernelSpec &k = kernelByName("Full Motion Search");
+    const VariantSpec &v = k.variant("Blocking/Loop Exchange");
+    MachineModel machine(models::i4c8s4());
+    Function fn = lowerVariant(k, v, machine);
+    MemoryImage mem(fn);
+    k.prepare(fn, mem, FrameGeometry{48, 32}, 0);
+
+    obs::StatsRegistry stats;
+    obs::StatsRegistry *prev = obs::globalStats();
+    obs::setGlobalStats(&stats);
+    CycleSim sim(machine, v.mode);
+    sim.run(fn, mem);
+    obs::setGlobalStats(prev);
+
+    uint64_t sorts = stats.counterValue("sim/acyclic_group_sorts");
+    uint64_t execs = stats.counterValue("sim/acyclic_group_execs");
+    EXPECT_GT(sorts, 0u);
+    EXPECT_GT(execs, sorts) << "groups re-sorted on re-execution";
+}
+
+} // namespace
