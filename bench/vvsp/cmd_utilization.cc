@@ -1,46 +1,37 @@
 /**
  * @file
- * Datapath utilization report across all seven candidate models.
- *
- * For every model, cycle-simulates each kernel's most-optimized
- * variant and prints the measured issue-slot, crossbar, memory-port,
- * and register-file-port utilization plus the stall-attribution
- * breakdown (operand / structural / transfer / idle). A second
- * section reproduces the paper's conclusion that real-time full
- * motion search keeps "between 33% and 46% of the compute" busy at
- * 30 frames/s. Every viable model is annotated against the band
- * (tolerance +-5 points); the check fails (exit 1) if the reference
- * I4C8S4 datapath leaves it. The small-cluster models land below
- * the band because our clock estimator awards them ~30% faster
- * clocks, so a frame uses a smaller share of their cycles - the
- * same numbers bench/conclusions prints, recorded in
- * EXPERIMENTS.md.
- *
- * Accepts the shared table flags; --trace=FILE additionally renders
- * every scheduled group of the simulated kernels as a pipeline
- * diagram (one Perfetto process per group).
+ * `vvsp utilization`: datapath utilization report across the
+ * candidate models (the "utilization" experiment spec; --model
+ * restricts the set). For every model, cycle-simulates each kernel's
+ * most-optimized variant and prints issue-slot, crossbar,
+ * memory-port, and register-file-port utilization plus the
+ * stall-attribution breakdown. A second section reproduces the
+ * paper's conclusion that real-time full motion search keeps
+ * "between 33% and 46% of the compute" busy at 30 frames/s; the
+ * check fails (exit 1) if the reference I4C8S4 datapath leaves the
+ * band. --trace=FILE additionally renders every scheduled group of
+ * the simulated kernels as a pipeline diagram.
  */
 
 #include <cstdio>
-#include <iterator>
 #include <string>
 #include <vector>
 
-#include "table_common.hh"
+#include "driver.hh"
+#include "arch/models.hh"
+#include "kernels/kernel.hh"
 #include "obs/sim_telemetry.hh"
 #include "sim/cycle_sim.hh"
+#include "support/table.hh"
 #include "vlsi/clock_estimator.hh"
 
-using namespace vvsp;
-using namespace vvsp::bench;
+namespace vvsp
+{
+namespace cli
+{
 
 namespace
 {
-
-const char *const kModelNames[] = {
-    "I4C8S4",    "I4C8S4C",    "I4C8S5",    "I2C16S4",
-    "I2C16S5",   "I4C8S5M16",  "I2C16S5M16",
-};
 
 /** Paper band for full-search compute utilization, +-5 points. */
 constexpr double kBandLo = 0.33 - 0.05;
@@ -55,10 +46,20 @@ pct(double x)
 } // anonymous namespace
 
 int
-main(int argc, char **argv)
+cmdUtilization(const ExperimentSpec &spec, const DriverOptions &opts)
 {
-    TableOptions opts = parseTableArgs(argc, argv);
-    TableObservability sinks(opts);
+    // The spec declares the full seven-model set; --model/--machine
+    // narrows it (JSON-loaded machines run through the same path).
+    std::vector<DatapathConfig> model_set;
+    if (opts.machines.empty()) {
+        for (const std::string &name : spec.models)
+            model_set.push_back(models::byName(name));
+    } else {
+        model_set = resolveMachines(opts);
+    }
+
+    Observability sinks(opts);
+    DiskCacheAttachment disk(opts);
     if (opts.stats)
         obs::setGlobalStats(&sinks.stats());
 
@@ -73,15 +74,15 @@ main(int argc, char **argv)
         std::printf("{\"models\": [\n");
     }
 
-    for (size_t mi = 0; mi < std::size(kModelNames); ++mi) {
-        const char *model_name = kModelNames[mi];
+    for (size_t mi = 0; mi < model_set.size(); ++mi) {
+        const std::string &model_name = model_set[mi].name;
         obs::GroupTelemetry model_total;
         TextTable table;
         table.header({"kernel", "variant", "cycles", "slot%",
                       "xbar%", "mem%", "rfrd%", "stall op/st/xf/id"});
         if (opts.json)
             std::printf("{\"model\": \"%s\", \"kernels\": [\n",
-                        model_name);
+                        jsonEscape(model_name).c_str());
 
         const auto &kernels = allKernels();
         for (size_t ki = 0; ki < kernels.size(); ++ki) {
@@ -89,7 +90,7 @@ main(int argc, char **argv)
             // Variants are ordered as the paper's rows: least to
             // most optimized. Take the last.
             const VariantSpec &v = k.variants.back();
-            DatapathConfig cfg = models::byName(model_name);
+            DatapathConfig cfg = model_set[mi];
             if (v.needsAbsDiff && !cfg.cluster.hasAbsDiff)
                 cfg.cluster.hasAbsDiff = true;
             MachineModel machine(cfg);
@@ -100,7 +101,7 @@ main(int argc, char **argv)
             CycleSim sim(machine, v.mode);
             if (!opts.traceFile.empty()) {
                 sim.setTrace(&sinks.trace(), trace_pid,
-                             std::string(model_name) + "/" + k.name);
+                             model_name + "/" + k.name);
             }
             obs::GroupTelemetry t;
             CycleSimReport rep = sim.run(fn, mem, &t);
@@ -109,7 +110,7 @@ main(int argc, char **argv)
             model_total.addScaled(t, 1);
             if (opts.stats) {
                 t.recordTo(sinks.stats().scope(
-                    "sim/" + std::string(model_name) + "/" + k.name));
+                    "sim/" + model_name + "/" + k.name));
             }
 
             uint64_t stalls = t.stallOperand + t.stallStructural +
@@ -164,9 +165,9 @@ main(int argc, char **argv)
                         "\"xbar_util\": %.4f}%s\n",
                         model_total.slotUtilization(),
                         model_total.xbarUtilization(),
-                        mi + 1 < std::size(kModelNames) ? "," : "");
+                        mi + 1 < model_set.size() ? "," : "");
         } else {
-            std::printf("%s:\n%s", model_name,
+            std::printf("%s:\n%s", model_name.c_str(),
                         table.str().c_str());
             std::printf("  overall: slot %.1f%%, crossbar %.1f%% "
                         "(the paper's underutilized switch), "
@@ -182,24 +183,15 @@ main(int argc, char **argv)
     // Paper conclusion: real-time full search uses 33%-46% of the
     // compute at 30 frames/s on the viable models (the complex-
     // addressing I4C8S4C pays a ~40% clock penalty and is excluded
-    // by the paper's own analysis).
-    const char *const kViable[] = {"I4C8S4", "I2C16S4", "I2C16S5"};
-    const KernelSpec &fs = kernelByName("Full Motion Search");
-    std::vector<ExperimentRequest> requests;
-    for (const char *name : kViable) {
-        ExperimentRequest req;
-        req.kernel = &fs;
-        req.variant = &fs.variant("Add spec. op (blocked)");
-        req.model = models::byName(name);
-        req.profileUnits = 2;
-        requests.push_back(req);
-    }
-    SweepOptions sopts;
-    sopts.threads = opts.threads;
-    sopts.useCache = opts.cache;
-    sinks.configure(sopts);
+    // by the paper's own analysis). The cells are the conclusions
+    // spec's full-search section.
+    const ExperimentSpec *conclusions =
+        findExperimentSpec("conclusions");
+    const SpecSection &fs_section = conclusions->sections.front();
+    SectionGrid grid = lowerSection(*conclusions, fs_section);
+    SweepOptions sopts = sweepOptions(opts, sinks);
     SweepRunner runner(sopts);
-    std::vector<ExperimentResult> results = runner.run(requests);
+    std::vector<ExperimentResult> results = runner.run(grid.requests);
 
     ClockEstimator clock;
     // The reference 4x8 datapath must reproduce the claim; the
@@ -213,20 +205,22 @@ main(int argc, char **argv)
         std::printf("Real-time full motion search at 30 frames/s "
                     "(paper: 33%%-46%% of compute):\n");
     for (size_t i = 0; i < results.size(); ++i) {
-        double mhz = clock.clockMhz(requests[i].model);
+        const std::string &name = grid.models[i].name;
+        double mhz = clock.clockMhz(grid.requests[i].model);
         double util =
             results[i].cyclesPerFrame * 30.0 / (mhz * 1e6);
         bool in_band = util >= kBandLo && util <= kBandHi;
-        if (std::string(kViable[i]) == "I4C8S4")
+        if (name == "I4C8S4")
             band_ok = band_ok && in_band;
         if (opts.json) {
             std::printf("  {\"model\": \"%s\", \"utilization\": "
                         "%.4f, \"in_band\": %s}%s\n",
-                        kViable[i], util, in_band ? "true" : "false",
+                        name.c_str(), util,
+                        in_band ? "true" : "false",
                         i + 1 < results.size() ? "," : "");
         } else {
             std::printf("  %-10s %5.1f%% of compute  [%s]\n",
-                        kViable[i], pct(util),
+                        name.c_str(), pct(util),
                         in_band ? "in 33-46 +-5 band"
                                 : "below band: faster clock");
         }
@@ -241,3 +235,6 @@ main(int argc, char **argv)
         obs::setGlobalStats(nullptr);
     return band_ok ? 0 : 1;
 }
+
+} // namespace cli
+} // namespace vvsp

@@ -1,0 +1,276 @@
+#include "driver.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/table.hh"
+
+namespace vvsp
+{
+namespace cli
+{
+
+namespace
+{
+
+void
+usageAndExit(const char *prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s <subcommand> [section] [--json] "
+                 "[--threads=N] [--machine=NAME|FILE.json ...] "
+                 "[--variant=NAME] [--no-cache] [--no-disk-cache] "
+                 "[--cache-dir=DIR] [--stats[=json]] [--trace=FILE]\n"
+                 "run `%s list` for subcommands, sections, and "
+                 "models\n",
+                 prog, prog);
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+DriverOptions
+parseDriverArgs(int argc, char **argv, int first)
+{
+    DriverOptions opts;
+    for (int i = first; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--json") == 0) {
+            opts.json = true;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            char *end = nullptr;
+            long n = std::strtol(a + 10, &end, 10);
+            if (end == a + 10 || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "%s: --threads wants a positive "
+                             "integer, got '%s' (omit the flag for "
+                             "hardware concurrency)\n",
+                             argv[0], a + 10);
+                std::exit(2);
+            }
+            opts.threads = static_cast<int>(n);
+        } else if (std::strncmp(a, "--machine=", 10) == 0 &&
+                   a[10] != '\0') {
+            opts.machines.push_back(a + 10);
+        } else if (std::strncmp(a, "--model=", 8) == 0 &&
+                   a[8] != '\0') {
+            opts.machines.push_back(a + 8);
+        } else if (std::strncmp(a, "--variant=", 10) == 0 &&
+                   a[10] != '\0') {
+            opts.variant = a + 10;
+        } else if (std::strcmp(a, "--no-cache") == 0) {
+            opts.cache = false;
+        } else if (std::strcmp(a, "--no-disk-cache") == 0) {
+            opts.diskCache = false;
+        } else if (std::strncmp(a, "--cache-dir=", 12) == 0 &&
+                   a[12] != '\0') {
+            opts.cacheDir = a + 12;
+        } else if (std::strcmp(a, "--stats") == 0) {
+            opts.stats = true;
+        } else if (std::strcmp(a, "--stats=json") == 0) {
+            opts.stats = true;
+            opts.statsJson = true;
+        } else if (std::strncmp(a, "--trace=", 8) == 0 &&
+                   a[8] != '\0') {
+            opts.traceFile = a + 8;
+        } else if (std::strncmp(a, "--clusters=", 11) == 0) {
+            opts.clustersList = a + 11;
+        } else if (std::strncmp(a, "--slots=", 8) == 0) {
+            opts.slotsList = a + 8;
+        } else if (std::strncmp(a, "--regs=", 7) == 0) {
+            opts.regsList = a + 7;
+        } else if (std::strncmp(a, "--mem-kb=", 9) == 0) {
+            opts.memKbList = a + 9;
+        } else if (std::strncmp(a, "--stages=", 9) == 0) {
+            opts.stagesList = a + 9;
+        } else if (std::strcmp(a, "--mul16") == 0) {
+            opts.mul16 = true;
+        } else if (std::strncmp(a, "--max-area=", 11) == 0) {
+            char *end = nullptr;
+            opts.maxAreaMm2 = std::strtod(a + 11, &end);
+            if (end == a + 11 || *end != '\0') {
+                std::fprintf(stderr,
+                             "%s: --max-area wants a number (mm^2), "
+                             "got '%s'\n",
+                             argv[0], a + 11);
+                std::exit(2);
+            }
+        } else if (std::strcmp(a, "--no-score") == 0) {
+            opts.score = false;
+        } else if (a[0] == '-') {
+            usageAndExit(argv[0]);
+        } else {
+            opts.positional.push_back(a);
+        }
+    }
+    return opts;
+}
+
+std::vector<DatapathConfig>
+resolveMachines(const DriverOptions &opts,
+                const std::vector<DatapathConfig> &fallback)
+{
+    if (opts.machines.empty())
+        return fallback;
+    std::vector<DatapathConfig> machines;
+    for (const std::string &m : opts.machines) {
+        std::string error;
+        auto cfg = ModelRegistry::instance().resolve(m, &error);
+        if (!cfg) {
+            std::fprintf(stderr, "vvsp: %s\n", error.c_str());
+            std::exit(2);
+        }
+        machines.push_back(std::move(*cfg));
+    }
+    return machines;
+}
+
+Observability::~Observability()
+{
+    if (opts_.stats) {
+        std::string body =
+            opts_.statsJson ? stats_.json() + "\n" : stats_.str();
+        std::fputs("\n== stats ==\n", stdout);
+        std::fputs(body.c_str(), stdout);
+    }
+    if (!opts_.traceFile.empty() && trace_.write(opts_.traceFile)) {
+        std::fprintf(stderr,
+                     "trace: wrote %zu slices to %s (load in "
+                     "chrome://tracing)\n",
+                     trace_.sliceCount(), opts_.traceFile.c_str());
+    }
+}
+
+void
+Observability::configure(SweepOptions &sopts)
+{
+    if (opts_.stats)
+        sopts.stats = &stats_;
+    if (!opts_.traceFile.empty())
+        sopts.trace = &trace_;
+}
+
+DiskCacheAttachment::DiskCacheAttachment(const DriverOptions &opts)
+{
+    if (!opts.cache || !opts.diskCache)
+        return;
+    disk_.emplace(opts.cacheDir.empty() ? DiskCache::defaultDir()
+                                        : opts.cacheDir);
+    ExperimentCache::global().setDiskCache(&*disk_);
+}
+
+DiskCacheAttachment::~DiskCacheAttachment()
+{
+    if (disk_)
+        ExperimentCache::global().setDiskCache(nullptr);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+SweepOptions
+sweepOptions(const DriverOptions &opts, Observability &sinks)
+{
+    SweepOptions sopts;
+    sopts.threads = opts.threads;
+    sopts.useCache = opts.cache;
+    sinks.configure(sopts);
+    return sopts;
+}
+
+namespace
+{
+
+/**
+ * Emit one kernel section's cells as a JSON object on stdout, in the
+ * old per-table binaries' exact format.
+ */
+void
+printJsonCells(const std::string &kernel_name,
+               const std::vector<ExperimentResult> &results,
+               const std::vector<double> &paper_values)
+{
+    std::printf("{\"kernel\": \"%s\", \"cells\": [\n",
+                jsonEscape(kernel_name).c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        std::printf("  {\"variant\": \"%s\", \"model\": \"%s\", "
+                    "\"cycles_per_frame\": %.1f, "
+                    "\"cycles_per_unit\": %.4f, "
+                    "\"paper_cycles_per_frame\": %.1f, "
+                    "\"passed\": %s, \"icache_ok\": %s, "
+                    "\"registers_ok\": %s}%s\n",
+                    jsonEscape(r.variant).c_str(),
+                    jsonEscape(r.model).c_str(), r.cyclesPerFrame,
+                    r.cyclesPerUnit, paper_values[i],
+                    r.passed ? "true" : "false",
+                    r.comp.icacheOk ? "true" : "false",
+                    r.comp.registersOk ? "true" : "false",
+                    i + 1 < results.size() ? "," : "");
+    }
+    std::printf("]}\n");
+}
+
+} // anonymous namespace
+
+void
+runSectionGrid(const std::string &kernel_name,
+               const SectionGrid &grid, const DriverOptions &opts,
+               Observability &sinks)
+{
+    SweepOptions sopts = sweepOptions(opts, sinks);
+    SweepRunner runner(sopts);
+    std::vector<ExperimentResult> results = runner.run(grid.requests);
+
+    if (opts.json) {
+        printJsonCells(kernel_name, results, grid.paperCycles);
+        return;
+    }
+
+    std::printf("%s (cycles per 720x480 frame; 'paper' = HPCA'97 "
+                "Table value)\n\n",
+                kernel_name.c_str());
+
+    TextTable table;
+    std::vector<std::string> head{"schedule"};
+    for (const auto &m : grid.models) {
+        head.push_back(m.name);
+        head.push_back("paper");
+    }
+    table.header(head);
+
+    size_t idx = 0;
+    for (const std::string &row_name : grid.rowNames) {
+        std::vector<std::string> cells{row_name};
+        for (size_t col = 0; col < grid.models.size(); ++col, ++idx) {
+            const ExperimentResult &r = results[idx];
+            std::string cell = TextTable::cycles(r.cyclesPerFrame);
+            if (!r.passed)
+                cell += "!";
+            if (!r.comp.icacheOk)
+                cell += "^"; // hot loop exceeds the icache.
+            if (!r.comp.registersOk)
+                cell += "*"; // register pressure exceeds the file.
+            cells.push_back(cell);
+            double pv = grid.paperCycles[idx];
+            cells.push_back(pv > 0 ? TextTable::cycles(pv) : "-");
+        }
+        table.row(cells);
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("flags: ! golden mismatch, ^ hot loop exceeds icache, "
+                "* register pressure exceeds file\n\n");
+}
+
+} // namespace cli
+} // namespace vvsp

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared infrastructure for the `vvsp` CLI driver: option parsing,
+ * per-run observability sinks, the persistent-cache attachment, and
+ * the table/JSON renderers every experiment subcommand shares.
+ *
+ * The driver replaces the per-table benchmark binaries: every
+ * experiment in the repo is declared in the core ExperimentSpec
+ * registry and rendered here, so the output of e.g. `vvsp table1
+ * colorconv --json` is byte-identical to what the old
+ * `table1_colorconv --json` binary printed (enforced by the golden
+ * tests under tests/golden/).
+ */
+
+#ifndef VVSP_BENCH_VVSP_DRIVER_HH
+#define VVSP_BENCH_VVSP_DRIVER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/model_registry.hh"
+#include "core/disk_cache.hh"
+#include "core/experiment_spec.hh"
+#include "core/sweep.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
+namespace vvsp
+{
+namespace cli
+{
+
+/** Options shared by every subcommand. */
+struct DriverOptions
+{
+    bool json = false;
+    /** Worker threads; 0 = flag absent = hardware concurrency. */
+    int threads = 0;
+    bool cache = true;
+    bool diskCache = true;  ///< persistent layer under the memo cache.
+    std::string cacheDir;   ///< "" = DiskCache::defaultDir().
+    bool stats = false;     ///< print the stats registry after runs.
+    bool statsJson = false; ///< ... in JSON form.
+    std::string traceFile;  ///< trace_event output path ("" = off).
+    /** --machine/--model column set: registry names or JSON paths. */
+    std::vector<std::string> machines;
+    /** --variant row filter ("" = every row). */
+    std::string variant;
+    /** Subcommand positionals, e.g. a section alias. */
+    std::vector<std::string> positional;
+
+    // `explore` range overrides (comma-separated int lists).
+    std::string clustersList;
+    std::string slotsList;
+    std::string regsList;
+    std::string memKbList;
+    std::string stagesList;
+    bool mul16 = false;
+    double maxAreaMm2 = 260.0;
+    bool score = true; ///< --no-score skips the workload scoring.
+};
+
+/**
+ * Parse everything after the subcommand word. Exits with status 2 on
+ * a malformed flag (e.g. `--threads` wants a *positive* integer; the
+ * hardware-concurrency default is spelled by omitting the flag).
+ */
+DriverOptions parseDriverArgs(int argc, char **argv, int first);
+
+/**
+ * Resolve the --machine/--model arguments through the model registry
+ * (JSON machine files included). Exits with status 2 and the list of
+ * registered models on a miss; returns `fallback` when no --machine
+ * was given.
+ */
+std::vector<DatapathConfig>
+resolveMachines(const DriverOptions &opts,
+                const std::vector<DatapathConfig> &fallback = {});
+
+/**
+ * Per-run observability sinks: one registry and one trace shared by
+ * every section a subcommand runs, emitted on destruction. Wire
+ * `sinks.configure(sopts)` into each SweepOptions.
+ */
+class Observability
+{
+  public:
+    explicit Observability(const DriverOptions &opts) : opts_(opts) {}
+    ~Observability();
+
+    /** Point a sweep's stats/trace fields at these sinks. */
+    void configure(SweepOptions &sopts);
+
+    obs::StatsRegistry &stats() { return stats_; }
+    obs::TraceWriter &trace() { return trace_; }
+
+  private:
+    DriverOptions opts_;
+    obs::StatsRegistry stats_;
+    obs::TraceWriter trace_;
+};
+
+/**
+ * Attaches the persistent disk layer to the process-global memo
+ * cache for the attachment's lifetime. No-op when either cache layer
+ * is disabled, so --no-cache / --no-disk-cache behave exactly like
+ * the in-memory-only harness.
+ */
+class DiskCacheAttachment
+{
+  public:
+    explicit DiskCacheAttachment(const DriverOptions &opts);
+    ~DiskCacheAttachment();
+
+  private:
+    std::optional<DiskCache> disk_;
+};
+
+/** JSON string escaping for the names we emit (quotes/backslash). */
+std::string jsonEscape(const std::string &s);
+
+/** Build SweepOptions from the driver options + sinks. */
+SweepOptions sweepOptions(const DriverOptions &opts,
+                          Observability &sinks);
+
+/**
+ * Run one lowered section grid and print it: the paper-style text
+ * table (with the `!`/`^`/`*` flag legend) or, with --json, one
+ * `{"kernel": ..., "cells": [...]}` object — both byte-identical to
+ * the old per-table binaries.
+ */
+void runSectionGrid(const std::string &kernel_name,
+                    const SectionGrid &grid, const DriverOptions &opts,
+                    Observability &sinks);
+
+// Subcommand entry points (cmd_*.cc). Each returns the process exit
+// status.
+int cmdTable(const ExperimentSpec &spec, const DriverOptions &opts);
+int cmdAblation(const ExperimentSpec &spec, const DriverOptions &opts);
+int cmdConclusions(const ExperimentSpec &spec,
+                   const DriverOptions &opts);
+int cmdUtilization(const ExperimentSpec &spec,
+                   const DriverOptions &opts);
+int cmdFigs(const DriverOptions &opts);
+int cmdSweep(const DriverOptions &opts);
+int cmdExplore(const DriverOptions &opts);
+
+} // namespace cli
+} // namespace vvsp
+
+#endif // VVSP_BENCH_VVSP_DRIVER_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * `vvsp`: the single CLI driver for every experiment the repo
+ * reproduces. Subcommands map 1:1 onto the core ExperimentSpec
+ * registry (plus the design-space explorer), replacing the old
+ * one-binary-per-table layout:
+ *
+ *   vvsp table1 [section]   Table 1 (or one kernel section of it)
+ *   vvsp table2 [section]   Table 2: 16-bit pipelined multipliers
+ *   vvsp ablation           Sec. 3.4.1 dual load/store ablation
+ *   vvsp conclusions        Sec. 4 conclusions, quantified
+ *   vvsp utilization        utilization report + full-search band
+ *   vvsp figs [which]       Figures 2-5 and the table header rows
+ *   vvsp sweep [section]    Table 1 kernels on any --machine set
+ *   vvsp explore            design-space exploration
+ *   vvsp list               specs, sections, models, machine files
+ *
+ * Every subcommand accepts the uniform flag set (--json, --threads=N,
+ * --machine, --variant, --no-cache, --no-disk-cache, --cache-dir,
+ * --stats[=json], --trace=FILE); run `vvsp list` for the registered
+ * names. Machines can be registry names (with +2LS/+AD suffixes) or
+ * JSON machine files, which run through the identical pipeline
+ * including the content-addressed disk cache.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "driver.hh"
+
+using namespace vvsp;
+using namespace vvsp::cli;
+
+namespace
+{
+
+int
+cmdList()
+{
+    std::printf("experiments:\n");
+    for (const ExperimentSpec &spec : experimentSpecs()) {
+        std::printf("  %-12s %s\n", spec.name.c_str(),
+                    spec.title.c_str());
+        for (const SpecSection &s : spec.sections) {
+            std::printf("    %-12s %s (%zu schedules)\n",
+                        s.alias.c_str(), s.kernel.c_str(),
+                        s.rows.size());
+        }
+    }
+    std::printf("  %-12s %s\n", "sweep",
+                "Table 1 kernels on any --machine set");
+    std::printf("  %-12s %s\n\n", "explore",
+                "design-space exploration (--machine sets the base)");
+
+    std::printf("models (--machine/--model; suffixes: +2LS dual "
+                "load/store, +AD abs-diff op):\n");
+    for (const auto &e : ModelRegistry::instance().entries())
+        std::printf("  %-12s %s\n", e.name.c_str(),
+                    e.summary.c_str());
+    std::printf("\na --machine argument may also be a JSON machine "
+                "file (see examples/machines/);\nit runs through the "
+                "same pipeline and disk cache as the registered "
+                "models.\n");
+    return 0;
+}
+
+int
+usage(FILE *out)
+{
+    std::fprintf(out,
+                 "usage: vvsp <subcommand> [args] [flags]\n"
+                 "subcommands: table1 table2 ablation conclusions "
+                 "utilization figs sweep explore list\n"
+                 "flags: --json --threads=N --machine=NAME|FILE.json "
+                 "--model=NAME --variant=NAME\n"
+                 "       --no-cache --no-disk-cache --cache-dir=DIR "
+                 "--stats[=json] --trace=FILE\n"
+                 "explore: --clusters=L --slots=L --regs=L "
+                 "--mem-kb=L --stages=L --mul16 --max-area=MM2 "
+                 "--no-score\n"
+                 "run `vvsp list` for sections and models\n");
+    return out == stdout ? 0 : 2;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+    if (cmd == "list")
+        return cmdList();
+
+    DriverOptions opts = parseDriverArgs(argc, argv, 2);
+
+    if (cmd == "table1" || cmd == "table2")
+        return cmdTable(*findExperimentSpec(cmd), opts);
+    if (cmd == "ablation")
+        return cmdAblation(*findExperimentSpec(cmd), opts);
+    if (cmd == "conclusions")
+        return cmdConclusions(*findExperimentSpec(cmd), opts);
+    if (cmd == "utilization")
+        return cmdUtilization(*findExperimentSpec(cmd), opts);
+    if (cmd == "figs")
+        return cmdFigs(opts);
+    if (cmd == "sweep")
+        return cmdSweep(opts);
+    if (cmd == "explore")
+        return cmdExplore(opts);
+
+    std::fprintf(stderr, "vvsp: unknown subcommand '%s'\n",
+                 cmd.c_str());
+    return usage(stderr);
+}

@@ -1,0 +1,351 @@
+#include "arch/config_json.hh"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace vvsp
+{
+
+namespace
+{
+
+/** Shortest decimal form that round-trips the double exactly. */
+std::string
+numberStr(double v)
+{
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    vvsp_assert(ec == std::errc(), "double formatting failed");
+    return std::string(buf, end);
+}
+
+const char *
+addressingStr(AddressingModes m)
+{
+    return m == AddressingModes::Complex ? "complex" : "simple";
+}
+
+const char *
+multiplierStr(MultiplierKind m)
+{
+    return m == MultiplierKind::Mul16x16Pipelined
+               ? "mul16x16_pipelined"
+               : "mul8x8";
+}
+
+/**
+ * Emit every architectural field in canonical order. `indent` is ""
+ * for the compact single-line key form, or the unit of
+ * pretty-printing indentation. The display name is the caller's
+ * business.
+ */
+void
+appendFields(std::ostream &os, const DatapathConfig &cfg,
+             const std::string &indent)
+{
+    const std::string sep = indent.empty() ? " " : "\n" + indent;
+    const std::string sep2 =
+        indent.empty() ? " " : "\n" + indent + indent;
+    const ClusterConfig &cl = cfg.cluster;
+    os << sep << "\"clusters\": " << cfg.clusters << ',';
+    os << sep << "\"pipeline_stages\": " << cfg.pipelineStages << ',';
+    os << sep << "\"addressing\": \"" << addressingStr(cfg.addressing)
+       << "\",";
+    os << sep << "\"multiplier\": \"" << multiplierStr(cfg.multiplier)
+       << "\",";
+    os << sep << "\"multiply_stages\": " << cfg.multiplyStages << ',';
+    os << sep << "\"crossbar_ports_per_cluster\": "
+       << cfg.crossbarPortsPerCluster << ',';
+    os << sep << "\"crossbar_driver_um\": "
+       << numberStr(cfg.crossbarDriverUm) << ',';
+    os << sep << "\"icache_instructions\": " << cfg.icacheInstructions
+       << ',';
+    os << sep << "\"icache_refill_cycles\": "
+       << cfg.icacheRefillCycles << ',';
+    os << sep << "\"cluster\": {";
+    os << sep2 << "\"issue_slots\": " << cl.issueSlots << ',';
+    os << sep2 << "\"alus\": " << cl.numAlus << ',';
+    os << sep2 << "\"multipliers\": " << cl.numMultipliers << ',';
+    os << sep2 << "\"shifters\": " << cl.numShifters << ',';
+    os << sep2 << "\"load_store_units\": " << cl.numLoadStoreUnits
+       << ',';
+    os << sep2 << "\"registers\": " << cl.registers << ',';
+    os << sep2 << "\"reg_file_ports\": " << cl.regFilePorts << ',';
+    os << sep2 << "\"local_mem_bytes\": " << cl.localMemBytes << ',';
+    os << sep2 << "\"mem_banks\": " << cl.memBanks << ',';
+    os << sep2 << "\"mem_ports_per_bank\": " << cl.memPortsPerBank
+       << ',';
+    os << sep2 << "\"mem_module_bytes\": " << cl.memModuleBytes
+       << ',';
+    os << sep2 << "\"fast_memory_cell\": "
+       << (cl.fastMemoryCell ? "true" : "false") << ',';
+    os << sep2 << "\"has_abs_diff\": "
+       << (cl.hasAbsDiff ? "true" : "false");
+    os << sep << "}";
+}
+
+const char *const kTopLevelKeys[] = {
+    "name",
+    "clusters",
+    "pipeline_stages",
+    "addressing",
+    "multiplier",
+    "multiply_stages",
+    "crossbar_ports_per_cluster",
+    "crossbar_driver_um",
+    "icache_instructions",
+    "icache_refill_cycles",
+    "cluster",
+};
+
+const char *const kClusterKeys[] = {
+    "issue_slots",
+    "alus",
+    "multipliers",
+    "shifters",
+    "load_store_units",
+    "registers",
+    "reg_file_ports",
+    "local_mem_bytes",
+    "mem_banks",
+    "mem_ports_per_bank",
+    "mem_module_bytes",
+    "fast_memory_cell",
+    "has_abs_diff",
+};
+
+/** Field-by-field reader that stops at the first error. */
+class ConfigReader
+{
+  public:
+    explicit ConfigReader(std::string &error) : error_(error) {}
+
+    bool ok() const { return error_.empty(); }
+
+    void
+    intField(const json::Value &obj, const char *key, int &out)
+    {
+        const json::Value *v = obj.find(key);
+        if (!v || !ok())
+            return;
+        if (!v->isIntegral()) {
+            error_ = format("\"%s\" wants an integer", key);
+            return;
+        }
+        out = static_cast<int>(v->asNumber());
+    }
+
+    void
+    doubleField(const json::Value &obj, const char *key, double &out)
+    {
+        const json::Value *v = obj.find(key);
+        if (!v || !ok())
+            return;
+        if (!v->isNumber()) {
+            error_ = format("\"%s\" wants a number", key);
+            return;
+        }
+        out = v->asNumber();
+    }
+
+    void
+    boolField(const json::Value &obj, const char *key, bool &out)
+    {
+        const json::Value *v = obj.find(key);
+        if (!v || !ok())
+            return;
+        if (!v->isBool()) {
+            error_ = format("\"%s\" wants true or false", key);
+            return;
+        }
+        out = v->asBool();
+    }
+
+    void
+    stringField(const json::Value &obj, const char *key,
+                std::string &out)
+    {
+        const json::Value *v = obj.find(key);
+        if (!v || !ok())
+            return;
+        if (!v->isString()) {
+            error_ = format("\"%s\" wants a string", key);
+            return;
+        }
+        out = v->asString();
+    }
+
+    /** Reject members of `obj` outside the known-key list. */
+    template <size_t N>
+    void
+    knownKeys(const json::Value &obj, const char *const (&keys)[N],
+              const char *where)
+    {
+        if (!ok())
+            return;
+        for (const auto &[key, value] : obj.members()) {
+            (void)value;
+            bool known = false;
+            for (const char *k : keys)
+                known = known || key == k;
+            if (!known) {
+                error_ = format("unknown %s key \"%s\"", where,
+                                key.c_str());
+                return;
+            }
+        }
+    }
+
+  private:
+    std::string &error_;
+};
+
+} // anonymous namespace
+
+std::string
+configToJson(const DatapathConfig &cfg)
+{
+    std::ostringstream os;
+    os << "{\n  \"name\": \"" << json::escape(cfg.name) << "\",";
+    appendFields(os, cfg, "  ");
+    os << "\n}\n";
+    return os.str();
+}
+
+std::string
+canonicalMachineKey(const DatapathConfig &cfg)
+{
+    std::ostringstream os;
+    os << '{';
+    appendFields(os, cfg, "");
+    os << " }";
+    return os.str();
+}
+
+std::optional<DatapathConfig>
+configFromJson(const std::string &text, std::string *error,
+               const std::string &fallback_name)
+{
+    std::string err;
+    json::Value doc;
+    if (!json::parse(text, doc, err)) {
+        if (error)
+            *error = "malformed JSON: " + err;
+        return std::nullopt;
+    }
+    if (!doc.isObject()) {
+        if (error)
+            *error = "machine document must be a JSON object";
+        return std::nullopt;
+    }
+
+    DatapathConfig cfg;
+    cfg.name = fallback_name;
+    std::string addressing = addressingStr(cfg.addressing);
+    std::string multiplier = multiplierStr(cfg.multiplier);
+
+    ConfigReader rd(err);
+    rd.knownKeys(doc, kTopLevelKeys, "machine");
+    rd.stringField(doc, "name", cfg.name);
+    rd.intField(doc, "clusters", cfg.clusters);
+    rd.intField(doc, "pipeline_stages", cfg.pipelineStages);
+    rd.stringField(doc, "addressing", addressing);
+    rd.stringField(doc, "multiplier", multiplier);
+    rd.intField(doc, "multiply_stages", cfg.multiplyStages);
+    rd.intField(doc, "crossbar_ports_per_cluster",
+                cfg.crossbarPortsPerCluster);
+    rd.doubleField(doc, "crossbar_driver_um", cfg.crossbarDriverUm);
+    rd.intField(doc, "icache_instructions", cfg.icacheInstructions);
+    rd.intField(doc, "icache_refill_cycles", cfg.icacheRefillCycles);
+
+    const json::Value *cluster = doc.find("cluster");
+    if (cluster && err.empty()) {
+        if (!cluster->isObject()) {
+            err = "\"cluster\" wants an object";
+        } else {
+            ClusterConfig &c = cfg.cluster;
+            rd.knownKeys(*cluster, kClusterKeys, "cluster");
+            rd.intField(*cluster, "issue_slots", c.issueSlots);
+            rd.intField(*cluster, "alus", c.numAlus);
+            rd.intField(*cluster, "multipliers", c.numMultipliers);
+            rd.intField(*cluster, "shifters", c.numShifters);
+            rd.intField(*cluster, "load_store_units",
+                        c.numLoadStoreUnits);
+            rd.intField(*cluster, "registers", c.registers);
+            rd.intField(*cluster, "reg_file_ports", c.regFilePorts);
+            rd.intField(*cluster, "local_mem_bytes", c.localMemBytes);
+            rd.intField(*cluster, "mem_banks", c.memBanks);
+            rd.intField(*cluster, "mem_ports_per_bank",
+                        c.memPortsPerBank);
+            rd.intField(*cluster, "mem_module_bytes",
+                        c.memModuleBytes);
+            rd.boolField(*cluster, "fast_memory_cell",
+                         c.fastMemoryCell);
+            rd.boolField(*cluster, "has_abs_diff", c.hasAbsDiff);
+        }
+    }
+
+    if (err.empty()) {
+        if (addressing == "simple") {
+            cfg.addressing = AddressingModes::Simple;
+        } else if (addressing == "complex") {
+            cfg.addressing = AddressingModes::Complex;
+        } else {
+            err = format("\"addressing\" must be \"simple\" or "
+                         "\"complex\", got \"%s\"",
+                         addressing.c_str());
+        }
+    }
+    if (err.empty()) {
+        if (multiplier == "mul8x8") {
+            cfg.multiplier = MultiplierKind::Mul8x8;
+        } else if (multiplier == "mul16x16_pipelined") {
+            cfg.multiplier = MultiplierKind::Mul16x16Pipelined;
+        } else {
+            err = format("\"multiplier\" must be \"mul8x8\" or "
+                         "\"mul16x16_pipelined\", got \"%s\"",
+                         multiplier.c_str());
+        }
+    }
+    if (err.empty())
+        err = cfg.validationError();
+    if (!err.empty()) {
+        if (error)
+            *error = err;
+        return std::nullopt;
+    }
+    return cfg;
+}
+
+std::optional<DatapathConfig>
+loadMachineFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open machine file '" + path + "'";
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    // Basename without extension names an anonymous machine.
+    std::string stem = path;
+    size_t slash = stem.find_last_of("/\\");
+    if (slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        stem = stem.substr(0, dot);
+
+    auto cfg = configFromJson(text.str(), error, stem);
+    if (!cfg && error)
+        *error = path + ": " + *error;
+    return cfg;
+}
+
+} // namespace vvsp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * JSON (de)serialization of DatapathConfig.
+ *
+ * Machines are data: any config can be written out as JSON, edited,
+ * and fed back through `--machine foo.json` — flowing through the
+ * same validation, experiment pipeline, and content-addressed cache
+ * keys as the built-in models. The canonical serialized form (fixed
+ * field order, shortest round-trip number formatting, display name
+ * excluded) is the machine half of every experiment cache key, so a
+ * machine loaded from a file and an identically-parameterized C++
+ * model share cache entries.
+ */
+
+#ifndef VVSP_ARCH_CONFIG_JSON_HH
+#define VVSP_ARCH_CONFIG_JSON_HH
+
+#include <optional>
+#include <string>
+
+#include "arch/datapath_config.hh"
+
+namespace vvsp
+{
+
+/**
+ * Serialize a config as a human-editable JSON document (two-space
+ * indent, trailing newline). Every field is written, so the output
+ * doubles as a template for hand-written machines.
+ */
+std::string configToJson(const DatapathConfig &cfg);
+
+/**
+ * The canonical machine key: a compact, single-line serialization of
+ * every architectural field in fixed order, excluding the display
+ * name (two differently-named models with the same parameters are
+ * the same machine to the pipeline). Parse + re-serialize is a
+ * fixed point, so disk-cache keys derived from it are stable across
+ * a JSON round trip.
+ */
+std::string canonicalMachineKey(const DatapathConfig &cfg);
+
+/**
+ * Parse a config from JSON text. Fields omitted from the document
+ * keep the DatapathConfig defaults (the I4C8S4 base machine), so a
+ * machine file only needs to state its differences. Unknown keys,
+ * malformed JSON, wrong-typed values, and configs that fail
+ * DatapathConfig::validationError() are rejected: returns nullopt
+ * and fills `error`.
+ *
+ * `fallback_name` names the machine when the document has no "name"
+ * member (e.g. the file's basename).
+ */
+std::optional<DatapathConfig>
+configFromJson(const std::string &text, std::string *error,
+               const std::string &fallback_name = "custom");
+
+/** configFromJson() over a file's contents; IO errors land in `error`. */
+std::optional<DatapathConfig>
+loadMachineFile(const std::string &path, std::string *error);
+
+} // namespace vvsp
+
+#endif // VVSP_ARCH_CONFIG_JSON_HH

@@ -60,6 +60,8 @@ struct ClusterConfig
     bool fastMemoryCell = false;
     /** One ALU implements the absolute-difference special op. */
     bool hasAbsDiff = false;
+
+    bool operator==(const ClusterConfig &) const = default;
 };
 
 /** Complete datapath description. */
@@ -116,8 +118,18 @@ struct DatapathConfig
     /** Multiplier latency in cycles. */
     int multiplyLatency() const { return multiplyStages; }
 
+    /**
+     * Check internal consistency; returns the first problem as a
+     * human-readable message, or "" when the config is valid. Lets
+     * file-loaded machines be rejected with a diagnostic instead of
+     * killing the process.
+     */
+    std::string validationError() const;
+
     /** Validate internal consistency; fatal() on user error. */
     void validate() const;
+
+    bool operator==(const DatapathConfig &) const = default;
 };
 
 } // namespace vvsp

@@ -1,5 +1,6 @@
 #include "arch/models.hh"
 
+#include "arch/model_registry.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -10,25 +11,10 @@ namespace models
 DatapathConfig
 i4c8s4()
 {
+    // The DatapathConfig/ClusterConfig field defaults *are* the
+    // paper's initial machine; every other model derives from it.
     DatapathConfig cfg;
     cfg.name = "I4C8S4";
-    cfg.clusters = 8;
-    cfg.cluster.issueSlots = 4;
-    cfg.cluster.numAlus = 4;
-    cfg.cluster.numMultipliers = 1;
-    cfg.cluster.numShifters = 1;
-    cfg.cluster.numLoadStoreUnits = 1;
-    cfg.cluster.registers = 128;
-    cfg.cluster.regFilePorts = 12;
-    cfg.cluster.localMemBytes = 32 * 1024;
-    cfg.cluster.memBanks = 1;
-    cfg.cluster.memPortsPerBank = 1;
-    cfg.cluster.memModuleBytes = 2048; // 16Kx1-bit modules.
-    cfg.pipelineStages = 4;
-    cfg.addressing = AddressingModes::Simple;
-    cfg.multiplier = MultiplierKind::Mul8x8;
-    cfg.crossbarPortsPerCluster = 4; // one per issue slot: 32x32.
-    cfg.icacheInstructions = 1024;
     cfg.validate();
     return cfg;
 }
@@ -57,23 +43,17 @@ i4c8s5()
 DatapathConfig
 i2c16s4()
 {
-    DatapathConfig cfg;
+    DatapathConfig cfg = i4c8s4();
     cfg.name = "I2C16S4";
     cfg.clusters = 16;
     cfg.cluster.issueSlots = 2;
     cfg.cluster.numAlus = 2;
-    cfg.cluster.numMultipliers = 1;
-    cfg.cluster.numShifters = 1;
     cfg.cluster.numLoadStoreUnits = 2; // one per slot, specific bank.
     cfg.cluster.registers = 64;
     cfg.cluster.regFilePorts = 6;
     cfg.cluster.localMemBytes = 16 * 1024;
     cfg.cluster.memBanks = 2; // two separate 8 KB memories.
-    cfg.cluster.memPortsPerBank = 1;
     cfg.cluster.memModuleBytes = 512; // smaller, faster modules.
-    cfg.pipelineStages = 4;
-    cfg.addressing = AddressingModes::Simple;
-    cfg.multiplier = MultiplierKind::Mul8x8;
     cfg.multiplyStages = 2; // must be pipelined at this clock rate.
     cfg.crossbarPortsPerCluster = 1; // 16x16 switch.
     cfg.icacheInstructions = 512;
@@ -154,21 +134,9 @@ table2Models()
 DatapathConfig
 byName(const std::string &name)
 {
-    if (name == "I4C8S4")
-        return i4c8s4();
-    if (name == "I4C8S4C")
-        return i4c8s4c();
-    if (name == "I4C8S5")
-        return i4c8s5();
-    if (name == "I2C16S4")
-        return i2c16s4();
-    if (name == "I2C16S5")
-        return i2c16s5();
-    if (name == "I4C8S5M16")
-        return i4c8s5m16();
-    if (name == "I2C16S5M16")
-        return i2c16s5m16();
-    vvsp_fatal("unknown datapath model '%s'", name.c_str());
+    // The registry owns the names; a miss is fatal with the list of
+    // registered models instead of a bare abort.
+    return ModelRegistry::instance().get(name);
 }
 
 } // namespace models

@@ -60,7 +60,11 @@ std::vector<DatapathConfig> table1Models();
 /** The five models of Table 2, in column order. */
 std::vector<DatapathConfig> table2Models();
 
-/** Look up any named model ("I4C8S4", ..., "I2C16S5M16"). */
+/**
+ * Look up any named model through the ModelRegistry (including
+ * derivation suffixes, e.g. "I4C8S4+2LS"); fatal() with the list of
+ * registered names on a miss. See arch/model_registry.hh.
+ */
 DatapathConfig byName(const std::string &name);
 
 } // namespace models

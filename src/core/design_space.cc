@@ -19,6 +19,59 @@ DesignPoint::str() const
     return os.str();
 }
 
+namespace
+{
+
+/** One candidate from the paper's derivation heuristics. */
+DatapathConfig
+derivedCandidate(const DesignSweep &sweep, int clusters, int slots,
+                 int regs, int mem_kb, int stages)
+{
+    DatapathConfig cfg;
+    cfg.clusters = clusters;
+    cfg.cluster.issueSlots = slots;
+    cfg.cluster.numAlus = slots;
+    cfg.cluster.numLoadStoreUnits = slots >= 4 ? 1 : 2;
+    cfg.cluster.registers = regs;
+    cfg.cluster.regFilePorts = 3 * slots;
+    cfg.cluster.localMemBytes = mem_kb * 1024;
+    cfg.cluster.memBanks = slots >= 4 ? 1 : 2;
+    cfg.cluster.memModuleBytes = slots >= 4 ? 2048 : 512;
+    cfg.pipelineStages = stages;
+    cfg.addressing = stages == 5 ? AddressingModes::Complex
+                                 : AddressingModes::Simple;
+    cfg.multiplyStages = slots >= 4 ? 1 : 2;
+    if (sweep.includeMul16 && stages == 5) {
+        cfg.multiplier = MultiplierKind::Mul16x16Pipelined;
+        cfg.multiplyStages = 2;
+    }
+    cfg.crossbarPortsPerCluster = slots >= 4 ? slots : 1;
+    cfg.icacheInstructions = clusters >= 16 ? 512 : 1024;
+    return cfg;
+}
+
+/** One candidate rebased onto the sweep's starting machine. */
+DatapathConfig
+rebasedCandidate(const DesignSweep &sweep, int clusters, int slots,
+                 int regs, int mem_kb, int stages)
+{
+    DatapathConfig cfg = *sweep.base;
+    cfg.clusters = clusters;
+    cfg.cluster.issueSlots = slots;
+    cfg.cluster.registers = regs;
+    cfg.cluster.regFilePorts =
+        std::max(cfg.cluster.regFilePorts, 3 * slots);
+    cfg.cluster.localMemBytes = mem_kb * 1024;
+    cfg.pipelineStages = stages;
+    if (sweep.includeMul16 && stages == 5) {
+        cfg.multiplier = MultiplierKind::Mul16x16Pipelined;
+        cfg.multiplyStages = 2;
+    }
+    return cfg;
+}
+
+} // namespace
+
 std::vector<DatapathConfig>
 enumerateSweepConfigs(const DesignSweep &sweep)
 {
@@ -28,38 +81,25 @@ enumerateSweepConfigs(const DesignSweep &sweep)
             for (int regs : sweep.registerCounts) {
                 for (int mem_kb : sweep.localMemKb) {
                     for (int stages : sweep.pipelineDepths) {
-                        DatapathConfig cfg;
+                        DatapathConfig cfg =
+                            sweep.base
+                                ? rebasedCandidate(sweep, clusters,
+                                                   slots, regs,
+                                                   mem_kb, stages)
+                                : derivedCandidate(sweep, clusters,
+                                                   slots, regs,
+                                                   mem_kb, stages);
                         cfg.name = "I" + std::to_string(slots) + "C" +
                                    std::to_string(clusters) + "S" +
                                    std::to_string(stages) + "R" +
                                    std::to_string(regs) + "M" +
                                    std::to_string(mem_kb);
-                        cfg.clusters = clusters;
-                        cfg.cluster.issueSlots = slots;
-                        cfg.cluster.numAlus = slots;
-                        cfg.cluster.numLoadStoreUnits =
-                            slots >= 4 ? 1 : 2;
-                        cfg.cluster.registers = regs;
-                        cfg.cluster.regFilePorts = 3 * slots;
-                        cfg.cluster.localMemBytes = mem_kb * 1024;
-                        cfg.cluster.memBanks = slots >= 4 ? 1 : 2;
-                        cfg.cluster.memModuleBytes =
-                            slots >= 4 ? 2048 : 512;
-                        cfg.pipelineStages = stages;
-                        cfg.addressing = stages == 5
-                                             ? AddressingModes::Complex
-                                             : AddressingModes::Simple;
-                        cfg.multiplyStages = slots >= 4 ? 1 : 2;
-                        if (sweep.includeMul16 && stages == 5) {
-                            cfg.multiplier =
-                                MultiplierKind::Mul16x16Pipelined;
-                            cfg.multiplyStages = 2;
-                        }
-                        cfg.crossbarPortsPerCluster =
-                            slots >= 4 ? slots : 1;
-                        cfg.icacheInstructions =
-                            clusters >= 16 ? 512 : 1024;
-                        cfg.validate();
+                        // A base machine can make some combinations
+                        // inconsistent (e.g. its bank count doesn't
+                        // divide a swept memory size); skip those
+                        // instead of aborting the enumeration.
+                        if (!cfg.validationError().empty())
+                            continue;
                         configs.push_back(std::move(cfg));
                     }
                 }

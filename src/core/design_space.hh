@@ -16,6 +16,7 @@
 #define VVSP_CORE_DESIGN_SPACE_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,17 @@ struct DesignSweep
     bool includeMul16 = false;
     /** Reject datapaths larger than this (mm^2); 0 = no limit. */
     double maxAreaMm2 = 0;
+    /**
+     * Starting machine for every candidate (any registered model or
+     * a JSON-loaded one — see arch/model_registry.hh). When set, the
+     * swept parameters overwrite the corresponding fields of a copy
+     * of this config (register-file ports raised to the 3-per-slot
+     * minimum) and every other field — multiplier kind, abs-diff op,
+     * icache, crossbar — is inherited; combinations the base makes
+     * inconsistent are skipped instead of enumerated. When unset,
+     * candidates are built from the paper's derivation heuristics.
+     */
+    std::optional<DatapathConfig> base;
 };
 
 /** Optional workload scorer: cycles per frame on a config. */

@@ -2,48 +2,26 @@
 
 #include <sstream>
 
+#include "arch/config_json.hh"
 #include "core/disk_cache.hh"
 #include "support/logging.hh"
 
 namespace vvsp
 {
 
-namespace
-{
-
-/**
- * Serialize every architectural field of a config. The display name
- * is excluded on purpose: two differently-named models with the same
- * parameters are the same machine to the pipeline.
- */
-void
-appendMachineKey(std::ostream &os, const DatapathConfig &cfg)
-{
-    const ClusterConfig &cl = cfg.cluster;
-    os << cfg.clusters << ',' << cl.issueSlots << ',' << cl.numAlus
-       << ',' << cl.numMultipliers << ',' << cl.numShifters << ','
-       << cl.numLoadStoreUnits << ',' << cl.registers << ','
-       << cl.regFilePorts << ',' << cl.localMemBytes << ','
-       << cl.memBanks << ',' << cl.memPortsPerBank << ','
-       << cl.memModuleBytes << ',' << cl.fastMemoryCell << ','
-       << cl.hasAbsDiff << ',' << cfg.pipelineStages << ','
-       << static_cast<int>(cfg.addressing) << ','
-       << static_cast<int>(cfg.multiplier) << ','
-       << cfg.crossbarPortsPerCluster << ',' << cfg.icacheInstructions
-       << ',' << cfg.icacheRefillCycles << ',' << cfg.crossbarDriverUm
-       << ',' << cfg.multiplyStages;
-}
-
-} // anonymous namespace
-
 std::string
 ExperimentCache::loweringKey(const ExperimentRequest &req,
                              const DatapathConfig &cfg)
 {
     vvsp_assert(req.kernel && req.variant, "incomplete request");
+    // The machine half of the key is the canonical serialized form
+    // (arch/config_json.hh), which excludes the display name: two
+    // differently-named models with the same parameters — including
+    // machines loaded from JSON files — are the same machine to the
+    // pipeline and share cache entries.
     std::ostringstream os;
-    os << req.kernel->name << '|' << req.variant->name << '|';
-    appendMachineKey(os, cfg);
+    os << req.kernel->name << '|' << req.variant->name << '|'
+       << canonicalMachineKey(cfg);
     return os.str();
 }
 

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Declarative experiment registry.
+ *
+ * Every experiment the repo reproduces — the Table 1 sections, Table
+ * 2, the dual-load/store ablation, the Sec. 4 conclusions cells, the
+ * utilization report — is declared here as *data*: a named spec
+ * holding a model set (registry names), kernel sections (variant
+ * rows with the paper's published values), and per-section profile
+ * depths. Specs are lowered onto ExperimentRequests and evaluated by
+ * the SweepRunner; the `vvsp` CLI driver is a thin renderer over
+ * this registry, and new experiments are added by declaring a spec,
+ * not by writing a new binary.
+ */
+
+#ifndef VVSP_CORE_EXPERIMENT_SPEC_HH
+#define VVSP_CORE_EXPERIMENT_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/datapath_config.hh"
+#include "core/experiment.hh"
+
+namespace vvsp
+{
+
+/**
+ * One table row: a schedule variant plus the paper's published
+ * value per model column, in millions of cycles per frame (0 = the
+ * paper prints no value for that cell).
+ */
+struct SpecRow
+{
+    std::string variant;
+    std::vector<double> paperMillions;
+};
+
+/** One kernel section of a spec (one sub-table). */
+struct SpecSection
+{
+    /** Kernel name as registered in kernels/kernel.hh. */
+    std::string kernel;
+    /** Short CLI alias, e.g. "colorconv". */
+    std::string alias;
+    /** Units to interpret for validation and profiling. */
+    int profileUnits = 4;
+    std::vector<SpecRow> rows;
+};
+
+/** How a spec's cells are consumed by the driver. */
+enum class SpecKind
+{
+    Table,       ///< paper-style grid: sections x models.
+    Ablation,    ///< grid without published values.
+    Conclusions, ///< best-schedule cells feeding derived analyses.
+    Utilization, ///< cycle-sim utilization across all models.
+    Figures,     ///< pure VLSI-model sweeps; no experiment cells.
+};
+
+/** One named, declarative experiment. */
+struct ExperimentSpec
+{
+    /** CLI name, e.g. "table1". */
+    std::string name;
+    std::string title;
+    SpecKind kind = SpecKind::Table;
+    /** Model registry names, in column order (may use +suffixes). */
+    std::vector<std::string> models;
+    std::vector<SpecSection> sections;
+
+    /** Section by CLI alias or kernel name; nullptr when absent. */
+    const SpecSection *section(const std::string &name) const;
+};
+
+/** All registered specs, in presentation order. */
+const std::vector<ExperimentSpec> &experimentSpecs();
+
+/** Spec by CLI name; nullptr when unknown. */
+const ExperimentSpec *findExperimentSpec(const std::string &name);
+
+/**
+ * One section's grid, lowered onto experiment requests: row-major
+ * (variant-major) over the spec's resolved model columns, exactly as
+ * the SweepRunner consumes it. `paperCycles` is per-request, in raw
+ * cycles per frame (0 when the paper has no value).
+ */
+struct SectionGrid
+{
+    std::vector<DatapathConfig> models;
+    std::vector<ExperimentRequest> requests;
+    std::vector<double> paperCycles;
+    std::vector<std::string> rowNames;
+};
+
+/**
+ * Lower a section through the model registry. `model_filter` (a
+ * resolved model set) overrides the spec's columns when non-empty;
+ * `variant_filter` keeps only the named row when non-empty. Kernel
+ * and variant specs referenced by the requests live in the static
+ * kernel registry, so the grid is self-contained.
+ */
+SectionGrid
+lowerSection(const ExperimentSpec &spec, const SpecSection &section,
+             const std::vector<DatapathConfig> &model_filter = {},
+             const std::string &variant_filter = "");
+
+} // namespace vvsp
+
+#endif // VVSP_CORE_EXPERIMENT_SPEC_HH

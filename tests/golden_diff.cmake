@@ -1,0 +1,19 @@
+# Runs the vvsp driver and byte-compares its stdout against a golden
+# file captured from the pre-refactor per-table binaries. Invoked by
+# the golden_* ctest entries:
+#   cmake -DVVSP=<driver> -DARGS=<;-list> -DGOLDEN=<file> -P golden_diff.cmake
+execute_process(
+    COMMAND ${VVSP} ${ARGS}
+    OUTPUT_VARIABLE actual
+    RESULT_VARIABLE status
+)
+if(NOT status EQUAL 0)
+    message(FATAL_ERROR "${VVSP} ${ARGS} exited with ${status}")
+endif()
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+    file(WRITE ${GOLDEN}.actual "${actual}")
+    message(FATAL_ERROR
+        "output differs from ${GOLDEN} (actual saved alongside as "
+        "${GOLDEN}.actual)")
+endif()
