@@ -158,12 +158,27 @@ runJsonMode(const std::string &out_path)
     auto t0 = std::chrono::steady_clock::now();
     runner.run(grid);
     double cold_s = secondsSince(t0);
+    ExperimentCacheStats cold_stats = cold_cache.stats();
+    // A cold sweep of distinct cells must not hit the memo cache; a
+    // hit here means the result key lost a dimension and two cells
+    // collided (the historical 0.5 "hit rate" was this snapshot taken
+    // after the warm pass, cumulatively counting its hits).
+    if (cold_stats.resultHits != 0) {
+        std::fprintf(stderr,
+                     "cold sweep took %llu memo hits (key collision?)\n",
+                     static_cast<unsigned long long>(
+                         cold_stats.resultHits));
+        return 1;
+    }
 
-    // Warm: same runner, memo cache now holds every cell.
+    // Warm: same runner, memo cache now holds every cell. Hit rate is
+    // computed over this pass only (delta vs the cold snapshot).
     t0 = std::chrono::steady_clock::now();
     runner.run(grid);
     double warm_s = secondsSince(t0);
     ExperimentCacheStats warm_stats = cold_cache.stats();
+    warm_stats.resultHits -= cold_stats.resultHits;
+    warm_stats.resultMisses -= cold_stats.resultMisses;
 
     // Disk-warm: populate a throwaway directory, then rerun against
     // it with an empty in-memory cache.

@@ -21,7 +21,8 @@ usageAndExit(const char *prog)
                  "usage: %s <subcommand> [section] [--json] "
                  "[--threads=N] [--machine=NAME|FILE.json ...] "
                  "[--variant=NAME] [--no-cache] [--no-disk-cache] "
-                 "[--cache-dir=DIR] [--stats[=json]] [--trace=FILE]\n"
+                 "[--cache-dir=DIR] [--stats[=json]] [--profile] "
+                 "[--trace=FILE]\n"
                  "run `%s list` for subcommands, sections, and "
                  "models\n",
                  prog, prog);
@@ -71,6 +72,8 @@ parseDriverArgs(int argc, char **argv, int first)
         } else if (std::strcmp(a, "--stats=json") == 0) {
             opts.stats = true;
             opts.statsJson = true;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            opts.profile = true;
         } else if (std::strncmp(a, "--trace=", 8) == 0 &&
                    a[8] != '\0') {
             opts.traceFile = a + 8;
@@ -128,6 +131,62 @@ resolveMachines(const DriverOptions &opts,
 
 Observability::~Observability()
 {
+    if (opts_.profile) {
+        // Per-phase wall-time breakdown from the "phase/<name>"
+        // scopes timedPhase records (see obs/stats_registry.hh).
+        // Phases nest - list_sched/modulo_sched run inside compose -
+        // so shares are of the pipeline total, not a partition.
+        struct Row
+        {
+            std::string name;
+            IntStat wall;
+        };
+        std::vector<Row> rows;
+        uint64_t pipeline_us = 0;
+        for (const auto &d : stats_.distributions()) {
+            const std::string &path = d.first;
+            if (path.rfind("phase/", 0) != 0)
+                continue;
+            const std::string suffix = "/wall_us";
+            if (path.size() <= 6 + suffix.size() ||
+                path.compare(path.size() - suffix.size(),
+                             suffix.size(), suffix) != 0) {
+                continue;
+            }
+            std::string name = path.substr(
+                6, path.size() - 6 - suffix.size());
+            if (name == "lowering" || name == "interp_sim" ||
+                name == "compose") {
+                pipeline_us += d.second.sum();
+            }
+            rows.push_back(Row{std::move(name), d.second});
+        }
+        std::fputs("\n== profile (per-phase wall time) ==\n", stdout);
+        if (rows.empty()) {
+            std::fputs("no phase samples recorded (cache-only run?)\n",
+                       stdout);
+        } else {
+            std::printf("%-14s %8s %12s %10s %7s\n", "phase", "runs",
+                        "total_ms", "avg_us", "share");
+            for (const Row &r : rows) {
+                double total_ms =
+                    static_cast<double>(r.wall.sum()) / 1000.0;
+                std::printf(
+                    "%-14s %8llu %12.3f %10.1f %6.1f%%\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.wall.count()),
+                    total_ms, r.wall.mean(),
+                    pipeline_us
+                        ? 100.0 * static_cast<double>(r.wall.sum()) /
+                              static_cast<double>(pipeline_us)
+                        : 0.0);
+            }
+            std::printf("pipeline total %.3f ms (lowering + "
+                        "interp_sim + compose; scheduler phases are "
+                        "inside compose)\n",
+                        static_cast<double>(pipeline_us) / 1000.0);
+        }
+    }
     if (opts_.stats) {
         std::string body =
             opts_.statsJson ? stats_.json() + "\n" : stats_.str();
@@ -145,7 +204,7 @@ Observability::~Observability()
 void
 Observability::configure(SweepOptions &sopts)
 {
-    if (opts_.stats)
+    if (opts_.stats || opts_.profile)
         sopts.stats = &stats_;
     if (!opts_.traceFile.empty())
         sopts.trace = &trace_;

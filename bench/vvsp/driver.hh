@@ -42,6 +42,7 @@ struct DriverOptions
     std::string cacheDir;   ///< "" = DiskCache::defaultDir().
     bool stats = false;     ///< print the stats registry after runs.
     bool statsJson = false; ///< ... in JSON form.
+    bool profile = false;   ///< per-phase wall-time breakdown.
     std::string traceFile;  ///< trace_event output path ("" = off).
     /** --machine/--model column set: registry names or JSON paths. */
     std::vector<std::string> machines;

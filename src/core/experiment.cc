@@ -156,54 +156,62 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
     res.variant = variant.name;
     res.model = req.model.name;
 
-    Function fn =
-        cache ? cache->lowerCached(
-                    ExperimentCache::loweringKey(req, cfg), kernel,
-                    variant, machine)
-              : lowerVariant(kernel, variant, machine);
+    obs::StatsScope phase = obs::globalScope("phase");
+    Function fn = obs::timedPhase(phase, "lowering", [&] {
+        return cache ? cache->lowerCached(
+                           ExperimentCache::loweringKey(req, cfg),
+                           kernel, variant, machine)
+                     : lowerVariant(kernel, variant, machine);
+    });
 
     AvgProfile avg(fn.numNodeIds());
-    if (req.check) {
-        const GoldenFn &golden = variant.goldenOverride
-                                     ? variant.goldenOverride
-                                     : kernel.golden;
-        res.checked = true;
-        res.passed = true;
-        for (int u = 0; u < req.profileUnits; ++u) {
-            MemoryImage mem(fn);
-            kernel.prepare(fn, mem, req.geometry, u);
-            MemoryImage expected(fn);
-            kernel.prepare(fn, expected, req.geometry, u);
+    obs::timedPhase(phase, "interp_sim", [&] {
+        if (req.check) {
+            const GoldenFn &golden = variant.goldenOverride
+                                         ? variant.goldenOverride
+                                         : kernel.golden;
+            res.checked = true;
+            res.passed = true;
+            for (int u = 0; u < req.profileUnits; ++u) {
+                MemoryImage mem(fn);
+                kernel.prepare(fn, mem, req.geometry, u);
+                MemoryImage expected(fn);
+                kernel.prepare(fn, expected, req.geometry, u);
 
-            Interpreter interp(fn);
-            Profile prof = interp.run(mem);
-            avg.accumulate(prof);
+                Interpreter interp(fn);
+                Profile prof = interp.run(mem);
+                avg.accumulate(prof);
 
-            golden(fn, expected);
-            for (const auto &bname : kernel.outputBuffers) {
-                int id = bufferIdByName(fn, bname);
-                if (mem.bufferWords(id) != expected.bufferWords(id)) {
-                    res.passed = false;
-                    res.note = "output buffer '" + bname +
-                               "' mismatches golden on unit " +
-                               std::to_string(u);
+                golden(fn, expected);
+                for (const auto &bname : kernel.outputBuffers) {
+                    int id = bufferIdByName(fn, bname);
+                    if (mem.bufferWords(id) !=
+                        expected.bufferWords(id)) {
+                        res.passed = false;
+                        res.note = "output buffer '" + bname +
+                                   "' mismatches golden on unit " +
+                                   std::to_string(u);
+                    }
                 }
             }
+            avg.scale(1.0 / req.profileUnits);
+        } else {
+            // Still need a profile: interpret without checking.
+            for (int u = 0; u < req.profileUnits; ++u) {
+                MemoryImage mem(fn);
+                kernel.prepare(fn, mem, req.geometry, u);
+                Interpreter interp(fn);
+                avg.accumulate(interp.run(mem));
+            }
+            avg.scale(1.0 / req.profileUnits);
         }
-        avg.scale(1.0 / req.profileUnits);
-    } else {
-        // Still need a profile: interpret without checking.
-        for (int u = 0; u < req.profileUnits; ++u) {
-            MemoryImage mem(fn);
-            kernel.prepare(fn, mem, req.geometry, u);
-            Interpreter interp(fn);
-            avg.accumulate(interp.run(mem));
-        }
-        avg.scale(1.0 / req.profileUnits);
-    }
+        return true;
+    });
 
     Composer composer(machine, variant.mode);
-    res.comp = composer.compose(fn, avg);
+    res.comp = obs::timedPhase(phase, "compose", [&] {
+        return composer.compose(fn, avg);
+    });
     res.cyclesPerUnit = res.comp.cyclesPerUnit;
 
     int gang = variant.gangAllClusters ? machine.clusters()

@@ -4,6 +4,7 @@
 
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "sched/modulo_scheduler.hh"
 
 namespace vvsp
 {
@@ -38,6 +39,12 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests)
     const auto batchStart = std::chrono::steady_clock::now();
     const ExperimentCacheStats before =
         cache_ ? cache_->stats() : ExperimentCacheStats{};
+
+    // Let modulo schedulers borrow idle workers for speculative II
+    // attempts. Bit-identical schedules at any thread count (see
+    // ModuloScheduler::setIiSearch); cleared before the pool can
+    // outlive the batch's use of it.
+    ModuloScheduler::setIiSearch(&pool_, pool_.threadCount());
 
     std::vector<ExperimentResult> results(requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -79,6 +86,7 @@ SweepRunner::run(const std::vector<ExperimentRequest> &requests)
         });
     }
     pool_.wait();
+    ModuloScheduler::setIiSearch(nullptr, 1);
     if (stats_ && cache_) {
         // This batch's contribution to the shared cache's counters.
         const ExperimentCacheStats after = cache_->stats();

@@ -58,10 +58,24 @@ struct MemChain
 DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
                                  const LatencyFn &latency,
                                  bool loop_carried)
-    : num_ops_(ops.size()), preds_(ops.size()), succs_(ops.size())
 {
-    const int n = static_cast<int>(ops.size());
+    build(ops, latency, loop_carried);
+}
+
+void
+DependenceGraph::build(const std::vector<Operation> &ops,
+                       const LatencyFn &latency, bool loop_carried)
+{
+    num_ops_ = ops.size();
+    edges_.clear();
+    edge_index_.clear();
     edge_index_.reserve(ops.size() * 4);
+
+    const int n = static_cast<int>(ops.size());
+    opLatency_.resize(ops.size());
+    for (int i = 0; i < n; ++i)
+        opLatency_[static_cast<size_t>(i)] =
+            latency(ops[static_cast<size_t>(i)]);
 
     Vreg max_reg = 0;
     for (const auto &op : ops) {
@@ -76,8 +90,7 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
     }
     std::vector<RegState> regs(static_cast<size_t>(max_reg) + 1);
 
-    auto reads = [&](const Operation &op,
-                     const std::function<void(Vreg)> &fn) {
+    auto reads = [&](const Operation &op, auto &&fn) {
         for (const auto &s : op.src) {
             if (s.isReg())
                 fn(s.reg);
@@ -92,7 +105,7 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
         reads(op, [&](Vreg r) {
             RegState &st = regs[r];
             for (int w : st.writers) {
-                addEdge(w, i, latency(ops[static_cast<size_t>(w)]), 0,
+                addEdge(w, i, opLatency_[static_cast<size_t>(w)], 0,
                         DepKind::True);
             }
             st.readers.push_back(i);
@@ -207,7 +220,7 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
                 for (int rd : st.all_readers) {
                     if (rd <= w) {
                         addEdge(w, rd,
-                                latency(ops[static_cast<size_t>(w)]), 1,
+                                opLatency_[static_cast<size_t>(w)], 1,
                                 DepKind::True);
                     }
                 }
@@ -235,6 +248,7 @@ DependenceGraph::DependenceGraph(const std::vector<Operation> &ops,
         }
     }
 
+    buildCsr();
     computeHeights();
 }
 
@@ -255,22 +269,58 @@ DependenceGraph::addEdge(int from, int to, int latency, int distance,
         existing.latency = std::max(existing.latency, latency);
         return;
     }
-    int idx = static_cast<int>(edges_.size());
     edges_.push_back(DepEdge{from, to, latency, distance, kind});
-    succs_[static_cast<size_t>(from)].push_back(idx);
-    preds_[static_cast<size_t>(to)].push_back(idx);
 }
 
-const std::vector<int> &
+void
+DependenceGraph::buildCsr()
+{
+    const size_t n = num_ops_;
+    const size_t num_edges = edges_.size();
+    succOff_.assign(n + 1, 0);
+    predOff_.assign(n + 1, 0);
+    for (const DepEdge &e : edges_) {
+        succOff_[static_cast<size_t>(e.from) + 1]++;
+        predOff_[static_cast<size_t>(e.to) + 1]++;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        succOff_[i + 1] += succOff_[i];
+        predOff_[i + 1] += predOff_[i];
+    }
+    succCsr_.resize(num_edges);
+    predCsr_.resize(num_edges);
+    // Fill cursors start at each row's offset; iterating edges in
+    // index order reproduces the per-op push_back order of the old
+    // vector-of-vectors adjacency exactly.
+    std::vector<int32_t> succ_cur(succOff_.begin(),
+                                  succOff_.end() - 1);
+    std::vector<int32_t> pred_cur(predOff_.begin(),
+                                  predOff_.end() - 1);
+    for (size_t e = 0; e < num_edges; ++e) {
+        const DepEdge &edge = edges_[e];
+        succCsr_[static_cast<size_t>(
+            succ_cur[static_cast<size_t>(edge.from)]++)] =
+            static_cast<int32_t>(e);
+        predCsr_[static_cast<size_t>(
+            pred_cur[static_cast<size_t>(edge.to)]++)] =
+            static_cast<int32_t>(e);
+    }
+}
+
+EdgeIndexRange
 DependenceGraph::predEdges(int op) const
 {
-    return preds_[static_cast<size_t>(op)];
+    const int32_t *base = predCsr_.data();
+    return {base + predOff_[static_cast<size_t>(op)],
+            base + predOff_[static_cast<size_t>(op) + 1]};
 }
 
-const std::vector<int> &
+EdgeIndexRange
 DependenceGraph::succEdges(int op) const
 {
-    return succs_[static_cast<size_t>(op)];
+    const int32_t *base = succCsr_.data();
+    return {base + succOff_[static_cast<size_t>(op)],
+            base + succOff_[static_cast<size_t>(op) + 1]};
 }
 
 void
@@ -280,7 +330,7 @@ DependenceGraph::computeHeights()
     // index order is a reverse topological order.
     heights_.assign(num_ops_, 1);
     for (int i = static_cast<int>(num_ops_) - 1; i >= 0; --i) {
-        for (int e : succs_[static_cast<size_t>(i)]) {
+        for (int e : succEdges(i)) {
             const DepEdge &edge = edges_[static_cast<size_t>(e)];
             if (edge.distance != 0)
                 continue;
@@ -306,47 +356,57 @@ DependenceGraph::criticalPathLength() const
     return best;
 }
 
+bool
+DependenceGraph::relaxationFeasible(int ii) const
+{
+    // No cycle has positive (latency - II*dist) weight; checked with
+    // Bellman-Ford on longest paths over the reused scratch vector.
+    bfDist_.assign(num_ops_, 0);
+    bool changed = true;
+    bool positive_cycle = false;
+    for (size_t iter = 0; iter <= num_ops_ && changed; ++iter) {
+        changed = false;
+        for (const auto &e : edges_) {
+            int w = e.latency - ii * e.distance;
+            int cand = bfDist_[static_cast<size_t>(e.from)] + w;
+            if (cand > bfDist_[static_cast<size_t>(e.to)]) {
+                bfDist_[static_cast<size_t>(e.to)] = cand;
+                changed = true;
+                if (iter == num_ops_)
+                    positive_cycle = true;
+            }
+        }
+    }
+    return !positive_cycle && !changed;
+}
+
 int
 DependenceGraph::recurrenceMii() const
 {
     if (num_ops_ == 0)
         return 1;
+    // A cycle in a valid graph needs at least one carried edge; with
+    // none, II = 1 is trivially feasible.
+    bool any_carried = false;
     int max_lat_sum = 1;
-    for (const auto &e : edges_)
+    for (const auto &e : edges_) {
         max_lat_sum += e.latency;
+        any_carried |= e.distance > 0;
+    }
+    if (!any_carried)
+        return 1;
 
-    // Smallest II such that no cycle has positive (latency - II*dist)
-    // weight; checked with Bellman-Ford on longest paths. Every cycle
-    // in a valid graph carries distance >= 1, so its weight
+    // Every cycle carries distance >= 1, so its weight
     // latSum - II*distSum strictly decreases with II: feasibility is
     // monotone and the smallest feasible II can be binary searched.
-    auto feasible = [this](int ii) {
-        std::vector<int> dist(num_ops_, 0);
-        bool changed = true;
-        bool positive_cycle = false;
-        for (size_t iter = 0; iter <= num_ops_ && changed; ++iter) {
-            changed = false;
-            for (const auto &e : edges_) {
-                int w = e.latency - ii * e.distance;
-                int cand = dist[static_cast<size_t>(e.from)] + w;
-                if (cand > dist[static_cast<size_t>(e.to)]) {
-                    dist[static_cast<size_t>(e.to)] = cand;
-                    changed = true;
-                    if (iter == num_ops_)
-                        positive_cycle = true;
-                }
-            }
-        }
-        return !positive_cycle && !changed;
-    };
-    if (feasible(1))
+    if (relaxationFeasible(1))
         return 1;
     // Invariant: lo infeasible; hi = the answer if any II in range
     // is feasible, else max_lat_sum (the historical fallback).
     int lo = 1, hi = max_lat_sum;
     while (hi - lo > 1) {
         int mid = lo + (hi - lo) / 2;
-        if (feasible(mid))
+        if (relaxationFeasible(mid))
             hi = mid;
         else
             lo = mid;

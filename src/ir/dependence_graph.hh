@@ -8,6 +8,14 @@
  * exact; memory dependences are conservative within a
  * (buffer, aliasToken) class, with kernel-declared streaming
  * accesses (noCarriedAlias) exempt from loop-carried edges.
+ *
+ * The graph is stored structure-of-arrays for the scheduler hot
+ * path: adjacency is compressed-sparse-row (one flat edge-index
+ * array per direction plus per-op offsets), operation latencies are
+ * computed once per op instead of once per edge, and a graph object
+ * can be rebuilt in place (`build()`), reusing every internal buffer
+ * so a sweep's thousands of graph constructions do near-zero heap
+ * churn.
  */
 
 #ifndef VVSP_IR_DEPENDENCE_GRAPH_HH
@@ -45,10 +53,35 @@ struct DepEdge
 /** Returns the result latency of an operation on the target machine. */
 using LatencyFn = std::function<int(const Operation &)>;
 
+/**
+ * Contiguous run of edge indices (one op's CSR adjacency row).
+ * Iterates like the std::vector<int> it replaced.
+ */
+class EdgeIndexRange
+{
+  public:
+    EdgeIndexRange(const int32_t *begin, const int32_t *end)
+        : begin_(begin), end_(end)
+    {
+    }
+
+    const int32_t *begin() const { return begin_; }
+    const int32_t *end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+
+  private:
+    const int32_t *begin_;
+    const int32_t *end_;
+};
+
 /** Dependence graph for one block of operations. */
 class DependenceGraph
 {
   public:
+    /** An empty graph; call build() before use. */
+    DependenceGraph() = default;
+
     /**
      * Build the graph. When loopCarried is set, cross-iteration
      * register and memory dependences (distance 1) are added for
@@ -57,12 +90,19 @@ class DependenceGraph
     DependenceGraph(const std::vector<Operation> &ops,
                     const LatencyFn &latency, bool loop_carried);
 
+    /**
+     * Rebuild in place for a new block, reusing the previous build's
+     * buffers (the pooled-reuse path for scheduler-owned graphs).
+     */
+    void build(const std::vector<Operation> &ops,
+               const LatencyFn &latency, bool loop_carried);
+
     size_t numOps() const { return num_ops_; }
     const std::vector<DepEdge> &edges() const { return edges_; }
 
     /** Edges into / out of an operation index. */
-    const std::vector<int> &predEdges(int op) const;
-    const std::vector<int> &succEdges(int op) const;
+    EdgeIndexRange predEdges(int op) const;
+    EdgeIndexRange succEdges(int op) const;
 
     /**
      * Length (in cycles) of the longest latency path from this op to
@@ -86,15 +126,31 @@ class DependenceGraph
   private:
     void addEdge(int from, int to, int latency, int distance,
                  DepKind kind);
+    void buildCsr();
     void computeHeights();
+    bool relaxationFeasible(int ii) const;
 
-    size_t num_ops_;
+    size_t num_ops_ = 0;
     std::vector<DepEdge> edges_;
     /** (from, to, distance, kind) -> edge index, for O(1) dedup. */
     std::unordered_map<uint64_t, int> edge_index_;
-    std::vector<std::vector<int>> preds_;
-    std::vector<std::vector<int>> succs_;
+
+    /**
+     * CSR adjacency: op i's successor edge indices live in
+     * succCsr_[succOff_[i] .. succOff_[i+1]), in edge-creation order
+     * (identical to the per-op vectors they replaced); same for
+     * predecessors.
+     */
+    std::vector<int32_t> succOff_;
+    std::vector<int32_t> succCsr_;
+    std::vector<int32_t> predOff_;
+    std::vector<int32_t> predCsr_;
+
     std::vector<int> heights_;
+    /** Per-op result latency, computed once per build. */
+    std::vector<int> opLatency_;
+    /** recurrenceMii scratch (reused across feasibility probes). */
+    mutable std::vector<int> bfDist_;
 };
 
 } // namespace vvsp

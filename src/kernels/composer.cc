@@ -145,6 +145,7 @@ struct Composer::Walker
     const AvgProfile &prof;
     ListScheduler lsched;
     ModuloScheduler msched;
+    obs::StatsScope phase = obs::globalScope("phase");
     CompositionResult result;
 
     std::vector<Operation> pending;
@@ -163,8 +164,10 @@ struct Composer::Walker
     {
         if (pending.empty())
             return;
-        BlockSchedule sched =
-            lsched.schedule(pending, mode == ScheduleMode::Sequential);
+        BlockSchedule sched = obs::timedPhase(phase, "list_sched", [&] {
+            return lsched.schedule(pending,
+                                   mode == ScheduleMode::Sequential);
+        });
         RegionCost rc;
         rc.label = pendingLabel;
         rc.execCount = pendingCount;
@@ -232,7 +235,10 @@ struct Composer::Walker
             auto ctrl = loopControlOps(fn, loop);
             ops.insert(ops.end(), ctrl.begin(), ctrl.end());
             BlockSchedule sched =
-                msched.schedule(ops, machine.registersPerCluster());
+                obs::timedPhase(phase, "modulo_sched", [&] {
+                    return msched.schedule(
+                        ops, machine.registersPerCluster());
+                });
             obs::StatsScope swp = obs::globalScope("sched/swp");
             if (swp.enabled()) {
                 // Achieved II against both lower bounds, so reports

@@ -21,6 +21,7 @@
 #define VVSP_OBS_STATS_REGISTRY_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -177,6 +178,35 @@ class StatsScope
     StatsRegistry *registry_ = nullptr;
     std::string prefix_;
 };
+
+/**
+ * Run `body`, recording its wall time under "scope-prefix/<name>"
+ * ("runs" count + "wall_us" distribution) when the scope is enabled;
+ * a disabled scope costs one branch. Returns body's result. This is
+ * the pipeline's phase-timing hook: runExperiment and the Composer
+ * wrap lowering / interpreter-profiling / scheduling in it, and
+ * `vvsp sweep --profile` reports the per-phase breakdown. wall_us
+ * samples are, of course, nondeterministic; determinism-asserting
+ * consumers skip *_us paths.
+ */
+template <typename Body>
+auto
+timedPhase(const StatsScope &scope, const char *name, Body &&body)
+{
+    if (!scope.enabled())
+        return body();
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = body();
+    auto t1 = std::chrono::steady_clock::now();
+    StatsScope p = scope.scope(name);
+    p.bump("runs");
+    p.sample("wall_us",
+             static_cast<uint64_t>(
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     t1 - t0)
+                     .count()));
+    return result;
+}
 
 /**
  * The process-global registry used by instrumentation sites that have

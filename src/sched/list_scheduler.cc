@@ -4,6 +4,7 @@
 
 #include "sched/reg_pressure.hh"
 #include "support/logging.hh"
+#include "support/sched_arena.hh"
 
 namespace vvsp
 {
@@ -33,8 +34,8 @@ ListScheduler::schedule(const std::vector<Operation> &ops,
                     machine_.name().c_str(), op.str().c_str());
     }
 
-    DependenceGraph ddg(ops, machine_.latencyFn(),
-                        /*loop_carried=*/false);
+    ddg_.build(ops, machine_.latencyFn(), /*loop_carried=*/false);
+    const DependenceGraph &ddg = ddg_;
 
     int branch_idx = -1;
     for (int i = 0; i < n; ++i) {
@@ -48,9 +49,13 @@ ListScheduler::schedule(const std::vector<Operation> &ops,
     stats_.bump("list_runs");
     ReservationTable &table = table_;
     table.reset(/*ii=*/0, width1);
-    std::vector<int> start(static_cast<size_t>(n), -1);
-    std::vector<int> unplaced_preds(static_cast<size_t>(n), 0);
-    std::vector<int> earliest(static_cast<size_t>(n), 0);
+    ArenaVec<int32_t> start_a, preds_a, earliest_a, ready_a, pending_a;
+    std::vector<int32_t> &start = *start_a;
+    std::vector<int32_t> &unplaced_preds = *preds_a;
+    std::vector<int32_t> &earliest = *earliest_a;
+    start.assign(static_cast<size_t>(n), -1);
+    unplaced_preds.assign(static_cast<size_t>(n), 0);
+    earliest.assign(static_cast<size_t>(n), 0);
     for (int i = 0; i < n; ++i) {
         for (int e : ddg.predEdges(i)) {
             const DepEdge &edge = ddg.edges()[static_cast<size_t>(e)];
@@ -61,31 +66,40 @@ ListScheduler::schedule(const std::vector<Operation> &ops,
         }
     }
 
-    auto priority_less = [&ddg](int a, int b) {
+    auto priority_less = [&ddg](int32_t a, int32_t b) {
         int ha = ddg.height(a), hb = ddg.height(b);
         if (ha != hb)
             return ha > hb;
         return a < b;
     };
 
-    std::vector<int> ready;
+    // `ready` is kept sorted by priority at all times: the per-cycle
+    // pass walks it in order and compacts survivors in place, and
+    // ops that become ready during a cycle are batched in `pending`
+    // and merged by sorted insertion afterwards (they are not
+    // eligible until the next cycle anyway). priority_less is a
+    // strict total order, so this reproduces the historical
+    // sort-every-cycle schedule exactly.
+    std::vector<int32_t> &ready = *ready_a;
+    std::vector<int32_t> &pending = *pending_a;
+    ready.clear();
+    pending.clear();
     for (int i = 0; i < n; ++i) {
         if (i != branch_idx && unplaced_preds[static_cast<size_t>(i)] == 0)
             ready.push_back(i);
     }
+    std::sort(ready.begin(), ready.end(), priority_less);
 
     int placed_count = branch_idx >= 0 ? 1 : 0;
     int cycle = 0;
     const int guard = 64 * n + 1024;
     while (placed_count < n) {
         vvsp_assert(cycle < guard, "list scheduler did not converge");
-        std::sort(ready.begin(), ready.end(), priority_less);
-        bool progress_possible = false;
-        std::vector<int> still_ready;
-        for (int i : ready) {
+        size_t keep = 0;
+        for (size_t rdi = 0; rdi < ready.size(); ++rdi) {
+            int i = ready[rdi];
             if (earliest[static_cast<size_t>(i)] > cycle) {
-                still_ready.push_back(i);
-                progress_possible = true;
+                ready[keep++] = i;
                 continue;
             }
             int slot = -1;
@@ -106,15 +120,20 @@ ListScheduler::schedule(const std::vector<Operation> &ops,
                                            cycle + edge.latency);
                     if (--unplaced_preds[t] == 0 &&
                         edge.to != branch_idx) {
-                        still_ready.push_back(edge.to);
+                        pending.push_back(edge.to);
                     }
                 }
             } else {
-                still_ready.push_back(i);
+                ready[keep++] = i;
             }
         }
-        ready = std::move(still_ready);
-        (void)progress_possible;
+        ready.resize(keep);
+        for (int32_t i : pending) {
+            ready.insert(std::lower_bound(ready.begin(), ready.end(),
+                                          i, priority_less),
+                         i);
+        }
+        pending.clear();
         ++cycle;
     }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "arch/machine_model.hh"
+#include "ir/dependence_graph.hh"
 #include "obs/stats_registry.hh"
 #include "sched/reservation_table.hh"
 #include "sched/schedule.hh"
@@ -48,6 +49,8 @@ class ListScheduler
     BankOfFn bank_of_;
     /** Pooled across schedule() calls; reset() per block. */
     mutable ReservationTable table_;
+    /** Pooled across schedule() calls; rebuilt in place per block. */
+    mutable DependenceGraph ddg_;
     obs::StatsScope stats_;
 };
 

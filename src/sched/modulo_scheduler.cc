@@ -1,15 +1,34 @@
 #include "sched/modulo_scheduler.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <map>
 #include <numeric>
 
 #include "sched/reg_pressure.hh"
 #include "support/logging.hh"
+#include "support/sched_arena.hh"
+#include "support/thread_pool.hh"
 
 namespace vvsp
 {
+
+namespace
+{
+
+/** Process-wide speculative II-search configuration. */
+std::atomic<ThreadPool *> g_iiPool{nullptr};
+std::atomic<int> g_iiWidth{1};
+
+} // anonymous namespace
+
+void
+ModuloScheduler::setIiSearch(ThreadPool *pool, int width)
+{
+    g_iiPool.store(pool, std::memory_order_release);
+    g_iiWidth.store(width, std::memory_order_release);
+}
 
 ModuloScheduler::ModuloScheduler(const MachineModel &machine,
                                  BankOfFn bank_of)
@@ -22,9 +41,22 @@ ModuloScheduler::ModuloScheduler(const MachineModel &machine,
 int
 ModuloScheduler::resourceMii(const std::vector<Operation> &ops) const
 {
-    // Per-cluster class counts.
-    std::map<int, int> total, mult, shift, absdiff, sends, receives;
-    std::map<std::pair<int, int>, int> mem; // (cluster, bank).
+    const int clusters = machine_.clusters();
+    const int banks = std::max(1, machine_.memBanks());
+    // Per-cluster class counts, flat: [0,C) total, [C,2C) mult,
+    // [2C,3C) shift, [3C,4C) sends, [4C,5C) receives.
+    ArenaVec<int32_t> counts;
+    counts->assign(static_cast<size_t>(5 * clusters), 0);
+    int32_t *total = counts->data();
+    int32_t *mult = total + clusters;
+    int32_t *shift = mult + clusters;
+    int32_t *sends = shift + clusters;
+    int32_t *receives = sends + clusters;
+    ArenaVec<int32_t> mem_cnt; // (cluster, bank), banks in range.
+    mem_cnt->assign(static_cast<size_t>(clusters) *
+                        static_cast<size_t>(banks),
+                    0);
+    std::map<std::pair<int, int>, int> mem_odd; // out-of-range banks.
     int branches = 0;
     for (const auto &op : ops) {
         switch (op.info().fuClass) {
@@ -46,7 +78,13 @@ ModuloScheduler::resourceMii(const std::vector<Operation> &ops) const
             break;
           case FuClass::Mem: {
             int bank = bank_of_ ? bank_of_(op.buffer) : 0;
-            mem[{op.cluster, bank}]++;
+            if (bank >= 0 && bank < banks) {
+                (*mem_cnt)[static_cast<size_t>(op.cluster) *
+                               static_cast<size_t>(banks) +
+                           static_cast<size_t>(bank)]++;
+            } else {
+                mem_odd[{op.cluster, bank}]++;
+            }
             break;
           }
           case FuClass::Xbar:
@@ -56,36 +94,49 @@ ModuloScheduler::resourceMii(const std::vector<Operation> &ops) const
           default:
             break;
         }
-        if (op.op == Opcode::AbsDiff)
-            absdiff[op.cluster]++;
+        // Abs-diff issues from any ALU slot: no dedicated bound.
     }
 
     auto ceil_div = [](int a, int b) { return (a + b - 1) / b; };
-    const ClusterConfig &cl = machine_.config().cluster;
-    int mii = std::max(1, branches);
-    for (const auto &[c, k] : total)
-        mii = std::max(mii, ceil_div(k, cl.issueSlots));
-    for (const auto &[c, k] : mult)
-        mii = std::max(mii, ceil_div(k, cl.numMultipliers));
-    for (const auto &[c, k] : shift)
-        mii = std::max(mii, ceil_div(k, cl.numShifters));
-    (void)absdiff; // abs-diff issues from any ALU slot.
-    for (const auto &[cb, k] : mem) {
-        int bank = cb.second;
+    auto servers_of = [this](int bank) {
         int servers = 0;
         for (const auto &caps : machine_.slotCaps()) {
             if (caps.memBank == -2 || caps.memBank == bank)
                 servers++;
         }
+        return servers;
+    };
+    const ClusterConfig &cl = machine_.config().cluster;
+    int mii = std::max(1, branches);
+    int ports = machine_.crossbarPortsPerCluster();
+    for (int c = 0; c < clusters; ++c) {
+        mii = std::max(mii, ceil_div(total[c], cl.issueSlots));
+        if (mult[c] > 0)
+            mii = std::max(mii, ceil_div(mult[c], cl.numMultipliers));
+        if (shift[c] > 0)
+            mii = std::max(mii, ceil_div(shift[c], cl.numShifters));
+        if (sends[c] > 0)
+            mii = std::max(mii, ceil_div(sends[c], ports));
+        if (receives[c] > 0)
+            mii = std::max(mii, ceil_div(receives[c], ports));
+        for (int b = 0; b < banks; ++b) {
+            int k = (*mem_cnt)[static_cast<size_t>(c) *
+                                   static_cast<size_t>(banks) +
+                               static_cast<size_t>(b)];
+            if (k == 0)
+                continue;
+            int servers = servers_of(b);
+            vvsp_assert(servers > 0,
+                        "no load/store unit serves bank %d", b);
+            mii = std::max(mii, ceil_div(k, servers));
+        }
+    }
+    for (const auto &[cb, k] : mem_odd) {
+        int servers = servers_of(cb.second);
         vvsp_assert(servers > 0, "no load/store unit serves bank %d",
-                    bank);
+                    cb.second);
         mii = std::max(mii, ceil_div(k, servers));
     }
-    int ports = machine_.crossbarPortsPerCluster();
-    for (const auto &[c, k] : sends)
-        mii = std::max(mii, ceil_div(k, ports));
-    for (const auto &[c, k] : receives)
-        mii = std::max(mii, ceil_div(k, ports));
     return mii;
 }
 
@@ -93,24 +144,61 @@ bool
 ModuloScheduler::attempt(const std::vector<Operation> &ops,
                          const DependenceGraph &ddg, int ii,
                          const std::vector<int> &by_priority,
+                         ReservationTable &table,
                          std::vector<int> *start) const
 {
     const int n = static_cast<int>(ops.size());
     start->assign(static_cast<size_t>(n), -1);
-    std::vector<int> prev(static_cast<size_t>(n), -1);
-    std::vector<int> slot_of(static_cast<size_t>(n), -1);
-    ReservationTable &table = table_;
+    // All scratch from the worker's arena: zero heap churn at steady
+    // state, and safe under speculative parallel attempts (each
+    // worker thread has its own arena).
+    ArenaVec<int32_t> prev_a, slot_a, rank_a, head_a, nxt_a, prv_a;
+    std::vector<int32_t> &prev = *prev_a;
+    std::vector<int32_t> &slot_of = *slot_a;
+    std::vector<int32_t> &rank_of = *rank_a;
+    prev.assign(static_cast<size_t>(n), -1);
+    slot_of.assign(static_cast<size_t>(n), -1);
+    rank_of.resize(static_cast<size_t>(n));
     table.reset(ii);
+
+    // Ops placed in each modulo row as intrusive doubly-linked lists:
+    // forced placement evicts a row's occupants by walking its list
+    // instead of scanning all n ops.
+    std::vector<int32_t> &row_head = *head_a;
+    std::vector<int32_t> &nxt = *nxt_a;
+    std::vector<int32_t> &prv = *prv_a;
+    row_head.assign(static_cast<size_t>(ii), -1);
+    nxt.assign(static_cast<size_t>(n), -1);
+    prv.assign(static_cast<size_t>(n), -1);
+    auto row_link = [&](int i, int cycle) {
+        int r = cycle % ii;
+        int h = row_head[static_cast<size_t>(r)];
+        nxt[static_cast<size_t>(i)] = h;
+        prv[static_cast<size_t>(i)] = -r - 2; // head marker.
+        if (h >= 0)
+            prv[static_cast<size_t>(h)] = i;
+        row_head[static_cast<size_t>(r)] = i;
+    };
+    auto row_unlink = [&](int i) {
+        int p = prv[static_cast<size_t>(i)];
+        int x = nxt[static_cast<size_t>(i)];
+        if (p >= 0)
+            nxt[static_cast<size_t>(p)] = x;
+        else
+            row_head[static_cast<size_t>(-p - 2)] = x;
+        if (x >= 0)
+            prv[static_cast<size_t>(x)] = p;
+    };
 
     // Unscheduled ops as a bitset over priority ranks: the first set
     // bit is the next op to place, so selection is a word scan
     // instead of an O(n) height sweep per placement.
-    std::vector<int> rank_of(static_cast<size_t>(n));
     for (int r = 0; r < n; ++r)
         rank_of[static_cast<size_t>(by_priority[static_cast<size_t>(
             r)])] = r;
-    std::vector<uint64_t> unplaced(
-        (static_cast<size_t>(n) + 63) / 64, ~uint64_t{0});
+    ArenaVec<uint64_t> unplaced_a;
+    std::vector<uint64_t> &unplaced = *unplaced_a;
+    unplaced.assign((static_cast<size_t>(n) + 63) / 64, ~uint64_t{0});
     if (n % 64)
         unplaced.back() = (uint64_t{1} << (n % 64)) - 1;
 
@@ -121,6 +209,7 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
                       (*start)[static_cast<size_t>(i)],
                       slot_of[static_cast<size_t>(i)]);
         (*start)[static_cast<size_t>(i)] = -1;
+        row_unlink(i);
         int r = rank_of[static_cast<size_t>(i)];
         unplaced[static_cast<size_t>(r) / 64] |= uint64_t{1}
                                                  << (r % 64);
@@ -160,12 +249,15 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
         int placed_at = table.findFirstFit(op, estart, &slot);
         if (placed_at < 0) {
             // Forced placement: free the modulo row and take it.
+            // Eviction releases independent reservations, so the
+            // walk order over the row's occupants does not matter.
             int t = std::max(estart,
                              prev[static_cast<size_t>(op_idx)] + 1);
-            for (int i = 0; i < n; ++i) {
-                int s = (*start)[static_cast<size_t>(i)];
-                if (s >= 0 && s % ii == t % ii)
-                    unschedule(i);
+            for (int i = row_head[static_cast<size_t>(t % ii)];
+                 i >= 0;) {
+                int next = nxt[static_cast<size_t>(i)];
+                unschedule(i);
+                i = next;
             }
             bool ok = table.tryReserve(op, t, &slot);
             vvsp_assert(ok, "forced placement failed at t=%d ii=%d", t,
@@ -175,6 +267,7 @@ ModuloScheduler::attempt(const std::vector<Operation> &ops,
         (*start)[static_cast<size_t>(op_idx)] = placed_at;
         slot_of[static_cast<size_t>(op_idx)] = slot;
         prev[static_cast<size_t>(op_idx)] = placed_at;
+        row_link(op_idx, placed_at);
         {
             int r = rank_of[static_cast<size_t>(op_idx)];
             unplaced[static_cast<size_t>(r) / 64] &=
@@ -212,7 +305,8 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
     }
 
     stats_.bump("modulo_runs");
-    DependenceGraph ddg(ops, machine_.latencyFn(), /*loop_carried=*/true);
+    ddg_.build(ops, machine_.latencyFn(), /*loop_carried=*/true);
+    const DependenceGraph &ddg = ddg_;
     int mii = std::max(resourceMii(ops), ddg.recurrenceMii());
 
     // Static scheduling priority, shared by every II attempt.
@@ -246,24 +340,76 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
         return result;
     };
 
-    std::vector<int> start;
+    // Feasible IIs are consumed in ascending order with the same
+    // control flow whether attempts ran sequentially or
+    // speculatively, so both paths return bit-identical schedules.
     BlockSchedule best;
     bool have_best = false;
     int pressure_retries = 0;
-    for (int ii = mii; ii <= mii + 2 * n + 16; ++ii) {
-        if (!attempt(ops, ddg, ii, by_priority, &start))
-            continue;
-        BlockSchedule cand = build(ii, start);
-        if (max_live_target <= 0 || cand.maxLive <= max_live_target)
-            return cand;
+    BlockSchedule decided;
+    auto consume = [&](BlockSchedule cand) -> bool {
+        if (max_live_target <= 0 || cand.maxLive <= max_live_target) {
+            decided = std::move(cand);
+            return true;
+        }
         if (!have_best || cand.maxLive < best.maxLive) {
-            best = cand;
+            best = std::move(cand);
             have_best = true;
         }
         // A few slack steps often untangle the bin-packing enough
         // for value lifetimes to shorten; give up after that.
-        if (++pressure_retries >= 6)
-            return best;
+        if (++pressure_retries >= 6) {
+            decided = best;
+            return true;
+        }
+        return false;
+    };
+
+    const int max_ii = mii + 2 * n + 16;
+    ThreadPool *pool = g_iiPool.load(std::memory_order_acquire);
+    int width = g_iiWidth.load(std::memory_order_acquire);
+    if (pool != nullptr && width > 1) {
+        // Speculative search: attempt a wave of candidate IIs
+        // concurrently, then replay the sequential decision over the
+        // wave's results in ascending II order. attempt() is a pure
+        // function of (ops, ddg, ii) with its own table and arena
+        // scratch, so extra speculative results are simply discarded.
+        for (int base = mii; base <= max_ii;) {
+            int wave = std::min(width, max_ii - base + 1);
+            std::vector<uint8_t> ok(static_cast<size_t>(wave), 0);
+            std::vector<BlockSchedule> cands(
+                static_cast<size_t>(wave));
+            TaskGroup group(pool);
+            for (int k = 0; k < wave; ++k) {
+                group.submit([&, k, base] {
+                    int ii = base + k;
+                    ReservationTable tab(machine_, ii, bank_of_);
+                    std::vector<int> start;
+                    if (attempt(ops, ddg, ii, by_priority, tab,
+                                &start)) {
+                        cands[static_cast<size_t>(k)] =
+                            build(ii, start);
+                        ok[static_cast<size_t>(k)] = 1;
+                    }
+                });
+            }
+            group.wait();
+            for (int k = 0; k < wave; ++k) {
+                if (!ok[static_cast<size_t>(k)])
+                    continue;
+                if (consume(std::move(cands[static_cast<size_t>(k)])))
+                    return decided;
+            }
+            base += wave;
+        }
+    } else {
+        std::vector<int> start;
+        for (int ii = mii; ii <= max_ii; ++ii) {
+            if (!attempt(ops, ddg, ii, by_priority, table_, &start))
+                continue;
+            if (consume(build(ii, start)))
+                return decided;
+        }
     }
     if (have_best)
         return best;

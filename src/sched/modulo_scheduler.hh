@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "arch/machine_model.hh"
+#include "ir/dependence_graph.hh"
 #include "obs/stats_registry.hh"
 #include "sched/reservation_table.hh"
 #include "sched/schedule.hh"
@@ -28,11 +29,26 @@
 namespace vvsp
 {
 
+class ThreadPool;
+
 /** Modulo scheduler for an innermost-loop body. */
 class ModuloScheduler
 {
   public:
     ModuloScheduler(const MachineModel &machine, BankOfFn bank_of);
+
+    /**
+     * Configure process-wide speculative II search: candidate IIs of
+     * one schedule() call are attempted concurrently on `pool` in
+     * waves of `width`, and the results are consumed in ascending II
+     * order with exactly the sequential search's control flow - each
+     * attempt is a pure function of (ops, ddg, ii), so the outcome is
+     * bit-identical to the sequential search at any thread count.
+     * width <= 1 or a null pool keeps the sequential path (the
+     * default). The pool must outlive scheduling; callers clear the
+     * configuration (nullptr, 1) when their pool goes away.
+     */
+    static void setIiSearch(ThreadPool *pool, int width);
 
     /**
      * Software-pipeline the loop-body ops (cluster fields assigned;
@@ -57,17 +73,22 @@ class ModuloScheduler
      * One II try. `by_priority` lists op indices sorted by height
      * (descending, ties in program order) - the scheduling priority,
      * which is static per dependence graph, so it is computed once
-     * in schedule() and shared by every attempt.
+     * in schedule() and shared by every attempt. The caller supplies
+     * the reservation table (the pooled member for the sequential
+     * search, a private table per speculative task); all other
+     * scratch comes from the worker's SchedArena.
      */
     bool attempt(const std::vector<Operation> &ops,
                  const DependenceGraph &ddg, int ii,
                  const std::vector<int> &by_priority,
-                 std::vector<int> *start) const;
+                 ReservationTable &table, std::vector<int> *start) const;
 
     const MachineModel &machine_;
     BankOfFn bank_of_;
     /** Pooled across attempts; reset() per II tried. */
     mutable ReservationTable table_;
+    /** Pooled across schedule() calls; rebuilt in place per block. */
+    mutable DependenceGraph ddg_;
     obs::StatsScope stats_;
 };
 

@@ -1,24 +1,12 @@
 #include "sched/reg_pressure.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "support/logging.hh"
+#include "support/sched_arena.hh"
 
 namespace vvsp
 {
-
-namespace
-{
-
-struct Lifetime
-{
-    int def = -1;      ///< issue cycle of the definition (-1: live-in).
-    int last_use = -1; ///< latest issue cycle of a reader.
-    int cluster = 0;
-};
-
-} // anonymous namespace
 
 int
 maxLivePerCluster(const std::vector<Operation> &ops,
@@ -26,35 +14,84 @@ maxLivePerCluster(const std::vector<Operation> &ops,
                   int ii)
 {
     (void)machine;
-    // (vreg, cluster) -> lifetime. A transferred value has separate
-    // lifetimes in the sending and receiving register files.
-    std::map<std::pair<Vreg, int>, Lifetime> lives;
+    const int n = static_cast<int>(ops.size());
+    if (n == 0)
+        return 0;
 
-    auto read = [&](Vreg r, int cluster, int cycle) {
-        auto &lt = lives[{r, cluster}];
-        lt.cluster = cluster;
-        lt.last_use = std::max(lt.last_use, cycle);
+    // A transferred value has separate lifetimes in the sending and
+    // receiving register files, so lifetimes are keyed (vreg, cluster).
+    // The keys are dense (vreg * clusters + cluster), so the whole
+    // analysis runs on flat arena arrays instead of a std::map, and
+    // pressure is accumulated with difference arrays: one lifetime
+    // costs O(1) bookkeeping instead of O(lifetime length).
+    Vreg max_reg = 0;
+    int clusters = 0;
+    bool any = false;
+    for (const auto &op : ops) {
+        clusters = std::max(clusters, op.cluster + 1);
+        for (const auto &s : op.src) {
+            if (s.isReg()) {
+                max_reg = std::max(max_reg, s.reg);
+                any = true;
+            }
+        }
+        if (op.pred.isReg()) {
+            max_reg = std::max(max_reg, op.pred.reg);
+            any = true;
+        }
+        if (op.info().hasDst && op.dst != kNoVreg) {
+            max_reg = std::max(max_reg, op.dst);
+            any = true;
+            if (op.op == Opcode::Xfer)
+                clusters = std::max(clusters, op.dstCluster + 1);
+        }
+    }
+    if (!any)
+        return 0;
+
+    const size_t keys = (static_cast<size_t>(max_reg) + 1) *
+                        static_cast<size_t>(clusters);
+    ArenaVec<int32_t> def_of;   // issue cycle of def; -1 = live-in.
+    ArenaVec<int32_t> last_use; // latest reader cycle; -1 = none.
+    ArenaVec<uint8_t> seen;
+    ArenaVec<int32_t> touched;
+    def_of->assign(keys, -1);
+    last_use->assign(keys, -1);
+    seen->assign(keys, 0);
+    touched->clear();
+
+    auto touch = [&](Vreg r, int cluster) -> size_t {
+        size_t k = static_cast<size_t>(r) *
+                       static_cast<size_t>(clusters) +
+                   static_cast<size_t>(cluster);
+        if (!(*seen)[k]) {
+            (*seen)[k] = 1;
+            touched->push_back(static_cast<int32_t>(k));
+        }
+        return k;
     };
 
-    const int n = static_cast<int>(ops.size());
     for (int i = 0; i < n; ++i) {
         const Operation &op = ops[static_cast<size_t>(i)];
         const PlacedOp &p = sched.placed[static_cast<size_t>(i)];
+        auto read = [&](Vreg r) {
+            size_t k = touch(r, op.cluster);
+            (*last_use)[k] = std::max((*last_use)[k], p.cycle);
+        };
         for (const auto &s : op.src) {
             if (s.isReg())
-                read(s.reg, op.cluster, p.cycle);
+                read(s.reg);
         }
         if (op.pred.isReg())
-            read(op.pred.reg, op.cluster, p.cycle);
+            read(op.pred.reg);
         if (op.info().hasDst && op.dst != kNoVreg) {
             int home = op.op == Opcode::Xfer ? op.dstCluster
                                              : op.cluster;
-            auto &lt = lives[{op.dst, home}];
-            lt.cluster = home;
-            if (lt.def < 0)
-                lt.def = p.cycle;
+            size_t k = touch(op.dst, home);
+            if ((*def_of)[k] < 0)
+                (*def_of)[k] = p.cycle;
             else
-                lt.def = std::min(lt.def, p.cycle);
+                (*def_of)[k] = std::min((*def_of)[k], p.cycle);
         }
     }
 
@@ -62,27 +99,72 @@ maxLivePerCluster(const std::vector<Operation> &ops,
     for (int i = 0; i < n; ++i)
         horizon = std::max(horizon, sched.placed[static_cast<size_t>(
                                         i)].cycle + 2);
+    const int rows = ii > 0 ? ii : horizon;
 
-    int rows = ii > 0 ? ii : horizon;
-    std::map<int, std::vector<int>> pressure; // cluster -> per-row.
-    for (const auto &[key, lt] : lives) {
-        int from = lt.def < 0 ? 0 : lt.def;
-        int to = std::max(lt.last_use, from);
-        // Live-in values with no recorded use still occupy a register
-        // at their use cycle only (already covered by last_use).
-        auto &rowvec = pressure[lt.cluster];
-        if (rowvec.empty())
-            rowvec.assign(static_cast<size_t>(rows), 0);
-        for (int t = from; t <= to; ++t) {
-            rowvec[static_cast<size_t>(ii > 0 ? t % ii
-                                              : std::min(t, rows - 1))]++;
+    // Per cluster: a whole-row base count (full II wraps of long
+    // modulo lifetimes) plus a difference array for partial ranges.
+    ArenaVec<int32_t> diff; // clusters x (rows + 1).
+    ArenaVec<int32_t> base; // clusters.
+    diff->assign(static_cast<size_t>(clusters) *
+                     static_cast<size_t>(rows + 1),
+                 0);
+    base->assign(static_cast<size_t>(clusters), 0);
+
+    for (int32_t key : *touched) {
+        size_t k = static_cast<size_t>(key);
+        int cluster = static_cast<int>(
+            k % static_cast<size_t>(clusters));
+        int from = (*def_of)[k] < 0 ? 0 : (*def_of)[k];
+        int to = std::max((*last_use)[k], from);
+        int32_t *d = diff->data() +
+                     static_cast<size_t>(cluster) *
+                         static_cast<size_t>(rows + 1);
+        if (ii > 0) {
+            // Cycles [from, to] land on row t % ii: every complete
+            // wrap adds 1 to all rows; the remainder covers a
+            // circular range of rows starting at from % ii.
+            int span = to - from + 1;
+            (*base)[static_cast<size_t>(cluster)] += span / ii;
+            int rem = span % ii;
+            if (rem > 0) {
+                int lo = from % ii;
+                int hi = lo + rem;
+                if (hi <= ii) {
+                    d[lo]++;
+                    d[hi]--;
+                } else {
+                    d[lo]++;
+                    d[ii]--;
+                    d[0]++;
+                    d[hi - ii]--;
+                }
+            }
+        } else {
+            // Acyclic rows are cycles clamped to the last row.
+            if (from < rows) {
+                int hi = std::min(to, rows - 1);
+                d[from]++;
+                d[hi + 1]--;
+            }
+            int over_start = std::max(from, rows);
+            if (to >= over_start) {
+                int extra = to - over_start + 1;
+                d[rows - 1] += extra;
+                d[rows] -= extra;
+            }
         }
     }
 
     int peak = 0;
-    for (const auto &[cluster, rowvec] : pressure) {
-        for (int v : rowvec)
-            peak = std::max(peak, v);
+    for (int c = 0; c < clusters; ++c) {
+        const int32_t *d = diff->data() +
+                           static_cast<size_t>(c) *
+                               static_cast<size_t>(rows + 1);
+        int running = (*base)[static_cast<size_t>(c)];
+        for (int r = 0; r < rows; ++r) {
+            running += d[r];
+            peak = std::max(peak, running);
+        }
     }
     return peak;
 }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstring>
 
+#include "sched/simd_bits.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -73,6 +74,22 @@ ReservationTable::ReservationTable(const MachineModel &machine, int ii,
             anyBankMemOrder_.push_back(s);
     }
 
+    // Enumerate the candidate-slot classes; ids must match
+    // opClassId(). The aliased vectors are never resized after this
+    // point, so the pointers stay valid for the table's lifetime.
+    classOrders_ = {&aluOrder_, &absDiffOrder_, &shiftOrder_,
+                    &multOrder_};
+    for (const auto &bank_order : memOrder_)
+        classOrders_.push_back(&bank_order);
+    classOrders_.push_back(&anyBankMemOrder_);
+    classOrders_.push_back(&anySlotOrder_);
+    numClasses_ = static_cast<int>(classOrders_.size());
+    slotClasses_.resize(static_cast<size_t>(slots_));
+    for (int c = 0; c < numClasses_; ++c) {
+        for (int s : *classOrders_[static_cast<size_t>(c)])
+            slotClasses_[static_cast<size_t>(s)].push_back(c);
+    }
+
     // Size the flat state once; acyclic tables grow geometrically.
     int initial_rows = ii_ > 0 ? ii_ : 64;
     ensureRows(initial_rows);
@@ -88,10 +105,43 @@ ReservationTable::resetModuloBits()
     }
     rowWords_ = (ii_ + 63) / 64;
     size_t words = static_cast<size_t>(rowWords_);
-    slotBits_.assign(static_cast<size_t>(stride_) * words, 0);
     branchBits_.assign(words, 0);
     sendFullBits_.assign(static_cast<size_t>(clusters_) * words, 0);
     recvFullBits_.assign(static_cast<size_t>(clusters_) * words, 0);
+    classBusyBits_.assign(static_cast<size_t>(numClasses_) *
+                              static_cast<size_t>(clusters_) * words,
+                          0);
+    classFreeCnt_.assign(static_cast<size_t>(numClasses_) *
+                             static_cast<size_t>(clusters_) *
+                             static_cast<size_t>(ii_),
+                         0);
+    for (int c = 0; c < numClasses_; ++c) {
+        size_t class_size = classOrders_[static_cast<size_t>(c)]->size();
+        if (class_size == 0) {
+            // No candidate slots: every row is permanently blocked
+            // (rows past ii are masked off by the scan tail anyway).
+            std::fill(classBusyBits_.begin() +
+                          static_cast<ptrdiff_t>(
+                              static_cast<size_t>(c) *
+                              static_cast<size_t>(clusters_) * words),
+                      classBusyBits_.begin() +
+                          static_cast<ptrdiff_t>(
+                              static_cast<size_t>(c + 1) *
+                              static_cast<size_t>(clusters_) * words),
+                      ~uint64_t{0});
+            continue;
+        }
+        size_t base = static_cast<size_t>(c) *
+                      static_cast<size_t>(clusters_) *
+                      static_cast<size_t>(ii_);
+        std::fill(classFreeCnt_.begin() + static_cast<ptrdiff_t>(base),
+                  classFreeCnt_.begin() +
+                      static_cast<ptrdiff_t>(
+                          base + static_cast<size_t>(clusters_) *
+                                     static_cast<size_t>(ii_)),
+                  static_cast<uint8_t>(class_size));
+    }
+    scanScratch_.resize(words);
 }
 
 void
@@ -143,29 +193,36 @@ ReservationTable::row(int cycle) const
     return ii_ > 0 ? cycle % ii_ : cycle;
 }
 
-const std::vector<int> &
-ReservationTable::tryOrder(const Operation &op) const
+int
+ReservationTable::opClassId(const Operation &op) const
 {
+    const int banks = static_cast<int>(memOrder_.size());
     switch (op.info().fuClass) {
       case FuClass::Alu:
-        return op.op == Opcode::AbsDiff ? absDiffOrder_ : aluOrder_;
+        return op.op == Opcode::AbsDiff ? 1 : 0;
       case FuClass::Shift:
-        return shiftOrder_;
+        return 2;
       case FuClass::Mult:
-        return multOrder_;
+        return 3;
       case FuClass::Mem: {
         int bank = bank_of_ ? bank_of_(op.buffer) : 0;
         // Out-of-range banks are served only by any-bank LSU slots.
-        if (bank < 0 || bank >= static_cast<int>(memOrder_.size()))
-            return anyBankMemOrder_;
-        return memOrder_[static_cast<size_t>(bank)];
+        if (bank < 0 || bank >= banks)
+            return 4 + banks;
+        return 4 + bank;
       }
       case FuClass::Xbar:
       case FuClass::Branch:
       case FuClass::None:
-        return anySlotOrder_; // any slot can push to its port.
+        break; // any slot can push to its port.
     }
-    return anySlotOrder_;
+    return numClasses_ - 1; // anySlotOrder_.
+}
+
+const std::vector<int> &
+ReservationTable::tryOrder(const Operation &op) const
+{
+    return *classOrders_[static_cast<size_t>(opClassId(op))];
 }
 
 bool
@@ -234,9 +291,20 @@ ReservationTable::tryReserve(const Operation &op, int cycle,
         uint64_t bit = uint64_t{1} << (r % 64);
         size_t w = static_cast<size_t>(r) / 64;
         size_t words = static_cast<size_t>(rowWords_);
-        slotBits_[static_cast<size_t>(cluster * slots_ + chosen) *
-                      words +
-                  w] |= bit;
+        for (int32_t c : slotClasses_[static_cast<size_t>(chosen)]) {
+            uint8_t &cnt = classFreeCnt_[
+                (static_cast<size_t>(c) *
+                     static_cast<size_t>(clusters_) +
+                 static_cast<size_t>(cluster)) *
+                    static_cast<size_t>(ii_) +
+                static_cast<size_t>(r)];
+            if (--cnt == 0)
+                classBusyBits_[(static_cast<size_t>(c) *
+                                    static_cast<size_t>(clusters_) +
+                                static_cast<size_t>(cluster)) *
+                                   words +
+                               w] |= bit;
+        }
         if (op.op == Opcode::Xfer) {
             if (send_row[static_cast<size_t>(cluster)] >= ports_)
                 sendFullBits_[static_cast<size_t>(cluster) * words +
@@ -269,25 +337,22 @@ ReservationTable::findFirstFit(const Operation &op, int estart,
         return -1;
     }
 
-    // Bitmap of modulo rows that cannot take op.
-    scanScratch_.assign(static_cast<size_t>(rowWords_), 0);
+    // Bitmap of modulo rows that cannot take op: the incrementally
+    // maintained per-class mask (all candidate slots busy), plus for
+    // transfers the rows where either crossbar side is saturated.
     uint64_t *busy = scanScratch_.data();
     const size_t words = static_cast<size_t>(rowWords_);
     if (op.info().isBranch) {
         std::memcpy(busy, branchBits_.data(),
                     words * sizeof(uint64_t));
     } else {
-        // Blocked when every candidate slot is taken...
-        std::memset(busy, 0xff, words * sizeof(uint64_t));
         const int cluster = op.cluster;
-        for (int s : tryOrder(op)) {
-            const uint64_t *sb =
-                slotBits_.data() +
-                static_cast<size_t>(cluster * slots_ + s) * words;
-            for (size_t w = 0; w < words; ++w)
-                busy[w] &= sb[w];
-        }
-        // ...or, for transfers, when either port side is saturated.
+        const uint64_t *cls =
+            classBusyBits_.data() +
+            (static_cast<size_t>(opClassId(op)) *
+                 static_cast<size_t>(clusters_) +
+             static_cast<size_t>(cluster)) *
+                words;
         if (op.op == Opcode::Xfer) {
             const uint64_t *snd =
                 sendFullBits_.data() +
@@ -295,8 +360,9 @@ ReservationTable::findFirstFit(const Operation &op, int estart,
             const uint64_t *rcv =
                 recvFullBits_.data() +
                 static_cast<size_t>(op.dstCluster) * words;
-            for (size_t w = 0; w < words; ++w)
-                busy[w] |= snd[w] | rcv[w];
+            simdbits::or3(busy, cls, snd, rcv, words);
+        } else {
+            std::memcpy(busy, cls, words * sizeof(uint64_t));
         }
     }
     // Rows past ii in the last word do not exist.
@@ -351,10 +417,22 @@ ReservationTable::release(const Operation &op, int cycle, int slot)
               static_cast<size_t>(op.cluster) *
                   static_cast<size_t>(slots_) +
               static_cast<size_t>(slot)] = 0;
-    if (rowWords_ > 0)
-        slotBits_[static_cast<size_t>(op.cluster * slots_ + slot) *
-                      words +
-                  w] &= ~bit;
+    if (rowWords_ > 0) {
+        for (int32_t c : slotClasses_[static_cast<size_t>(slot)]) {
+            uint8_t &cnt = classFreeCnt_[
+                (static_cast<size_t>(c) *
+                     static_cast<size_t>(clusters_) +
+                 static_cast<size_t>(op.cluster)) *
+                    static_cast<size_t>(ii_) +
+                static_cast<size_t>(r)];
+            if (cnt++ == 0)
+                classBusyBits_[(static_cast<size_t>(c) *
+                                    static_cast<size_t>(clusters_) +
+                                static_cast<size_t>(op.cluster)) *
+                                   words +
+                               w] &= ~bit;
+        }
+    }
     if (op.op == Opcode::Xfer) {
         sends_[static_cast<size_t>(r) *
                    static_cast<size_t>(clusters_) +

@@ -87,6 +87,9 @@ class ReservationTable
     /** Candidate slots for an op, in reservation-preference order. */
     const std::vector<int> &tryOrder(const Operation &op) const;
 
+    /** Dense id of the op's candidate-slot class (tryOrder list). */
+    int opClassId(const Operation &op) const;
+
     const MachineModel &machine_;
     BankOfFn bank_of_;
     int ii_;
@@ -110,6 +113,16 @@ class ReservationTable
     std::vector<int> anyBankMemOrder_;       ///< memBank == -2 only.
     std::vector<int> anySlotOrder_;          ///< Xfer & friends.
 
+    /**
+     * The candidate-slot lists above, enumerated as dense classes:
+     * classOrders_[c] aliases one of the order vectors, and
+     * slotClasses_[s] lists every class whose order contains slot s.
+     * findFirstFit masks are kept per class, not per slot.
+     */
+    int numClasses_ = 0;
+    std::vector<const std::vector<int> *> classOrders_;
+    std::vector<std::vector<int32_t>> slotClasses_;
+
     /** Flat per-row state; row r occupies [r*stride, (r+1)*stride). */
     std::vector<uint8_t> slotBusy_;  ///< rows x stride.
     std::vector<uint8_t> sends_;     ///< rows x clusters.
@@ -122,15 +135,22 @@ class ReservationTable
     /**
      * Modulo-mode row bitmaps, mirrored by tryReserve()/release()
      * when ii > 0: bit r set means modulo row r cannot supply the
-     * resource. findFirstFit() combines them per op class instead of
-     * probing rows one by one.
+     * resource. findFirstFit() reads the per-class combined mask
+     * directly (ORing in crossbar saturation for transfers) instead
+     * of probing rows one by one or re-ANDing per-slot maps.
+     *
+     * classBusyBits_ bit r is set for (class, cluster) exactly when
+     * every candidate slot of that class is busy in modulo row r;
+     * classFreeCnt_ holds the matching free-slot counts so the bit
+     * can be maintained in O(classes-of-slot) on reserve/release.
      */
     int rowWords_ = 0; ///< 64-bit words per bitmap; 0 when ii == 0.
-    std::vector<uint64_t> slotBits_;     ///< (cluster,slot) x words.
-    std::vector<uint64_t> branchBits_;   ///< words.
-    std::vector<uint64_t> sendFullBits_; ///< clusters x words.
-    std::vector<uint64_t> recvFullBits_; ///< clusters x words.
-    std::vector<uint64_t> scanScratch_;  ///< findFirstFit workspace.
+    std::vector<uint64_t> branchBits_;     ///< words.
+    std::vector<uint64_t> sendFullBits_;   ///< clusters x words.
+    std::vector<uint64_t> recvFullBits_;   ///< clusters x words.
+    std::vector<uint64_t> classBusyBits_;  ///< (class,cluster) x words.
+    std::vector<uint8_t> classFreeCnt_;    ///< (class,cluster) x ii.
+    std::vector<uint64_t> scanScratch_;    ///< findFirstFit workspace.
 };
 
 } // namespace vvsp

@@ -1,0 +1,130 @@
+#include "sched/simd_bits.hh"
+
+#if defined(VVSP_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace vvsp
+{
+namespace simdbits
+{
+
+namespace
+{
+
+/** Portable path: four 64-bit words per iteration. */
+void
+or3Portable(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+            const uint64_t *c, size_t words)
+{
+    size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        dst[w + 0] = a[w + 0] | b[w + 0] | c[w + 0];
+        dst[w + 1] = a[w + 1] | b[w + 1] | c[w + 1];
+        dst[w + 2] = a[w + 2] | b[w + 2] | c[w + 2];
+        dst[w + 3] = a[w + 3] | b[w + 3] | c[w + 3];
+    }
+    for (; w < words; ++w)
+        dst[w] = a[w] | b[w] | c[w];
+}
+
+void
+andAccumPortable(uint64_t *acc, const uint64_t *src, size_t words)
+{
+    size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        acc[w + 0] &= src[w + 0];
+        acc[w + 1] &= src[w + 1];
+        acc[w + 2] &= src[w + 2];
+        acc[w + 3] &= src[w + 3];
+    }
+    for (; w < words; ++w)
+        acc[w] &= src[w];
+}
+
+#if defined(VVSP_HAVE_AVX2)
+
+__attribute__((target("avx2"))) void
+or3Avx2(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+        const uint64_t *c, size_t words)
+{
+    size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + w));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + w));
+        __m256i vc = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c + w));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + w),
+            _mm256_or_si256(_mm256_or_si256(va, vb), vc));
+    }
+    for (; w < words; ++w)
+        dst[w] = a[w] | b[w] | c[w];
+}
+
+__attribute__((target("avx2"))) void
+andAccumAvx2(uint64_t *acc, const uint64_t *src, size_t words)
+{
+    size_t w = 0;
+    for (; w + 4 <= words; w += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + w));
+        __m256i vs = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + w));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + w),
+                            _mm256_and_si256(va, vs));
+    }
+    for (; w < words; ++w)
+        acc[w] &= src[w];
+}
+
+bool
+hostHasAvx2()
+{
+    static const bool has = __builtin_cpu_supports("avx2");
+    return has;
+}
+
+#endif // VVSP_HAVE_AVX2
+
+} // anonymous namespace
+
+void
+or3(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+    const uint64_t *c, size_t words)
+{
+#if defined(VVSP_HAVE_AVX2)
+    if (hostHasAvx2()) {
+        or3Avx2(dst, a, b, c, words);
+        return;
+    }
+#endif
+    or3Portable(dst, a, b, c, words);
+}
+
+void
+andAccum(uint64_t *acc, const uint64_t *src, size_t words)
+{
+#if defined(VVSP_HAVE_AVX2)
+    if (hostHasAvx2()) {
+        andAccumAvx2(acc, src, words);
+        return;
+    }
+#endif
+    andAccumPortable(acc, src, words);
+}
+
+bool
+avx2Active()
+{
+#if defined(VVSP_HAVE_AVX2)
+    return hostHasAvx2();
+#else
+    return false;
+#endif
+}
+
+} // namespace simdbits
+} // namespace vvsp

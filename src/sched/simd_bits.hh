@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wide bitwise kernels over uint64_t row-bitmap words.
+ *
+ * The reservation table's findFirstFit combines per-resource modulo
+ * row bitmaps (class busy, crossbar send/receive saturation) into one
+ * "blocked rows" mask before scanning for the first free row. The
+ * combines are pure word-parallel OR/AND, so they vectorize exactly:
+ * the portable path processes four 64-bit words per loop iteration;
+ * when the compiler supports function-level AVX2 targeting
+ * (VVSP_HAVE_AVX2 from the CMake feature check) a 256-bit path is
+ * compiled as well and selected once at run time via
+ * __builtin_cpu_supports, so the same binary runs on any x86-64 host.
+ *
+ * Both paths compute bit-identical results - they are the same
+ * boolean algebra at different widths - which the
+ * SimdBits.*Equivalence tests pin down.
+ */
+
+#ifndef VVSP_SCHED_SIMD_BITS_HH
+#define VVSP_SCHED_SIMD_BITS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vvsp
+{
+namespace simdbits
+{
+
+/** dst[w] = a[w] | b[w] | c[w]. */
+void or3(uint64_t *dst, const uint64_t *a, const uint64_t *b,
+         const uint64_t *c, size_t words);
+
+/** acc[w] &= src[w]. */
+void andAccum(uint64_t *acc, const uint64_t *src, size_t words);
+
+/** True when the AVX2 path is compiled in and the host supports it. */
+bool avx2Active();
+
+} // namespace simdbits
+} // namespace vvsp
+
+#endif // VVSP_SCHED_SIMD_BITS_HH

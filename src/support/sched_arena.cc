@@ -1,0 +1,34 @@
+#include "support/sched_arena.hh"
+
+namespace vvsp
+{
+
+SchedArena &
+SchedArena::local()
+{
+    thread_local SchedArena arena;
+    return arena;
+}
+
+size_t
+SchedArena::pooledBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &v : ints_)
+        bytes += v.capacity() * sizeof(int32_t);
+    for (const auto &v : words_)
+        bytes += v.capacity() * sizeof(uint64_t);
+    for (const auto &v : bytes_)
+        bytes += v.capacity();
+    return bytes;
+}
+
+void
+SchedArena::release()
+{
+    ints_.clear();
+    words_.clear();
+    bytes_.clear();
+}
+
+} // namespace vvsp

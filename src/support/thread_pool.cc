@@ -91,4 +91,70 @@ ThreadPool::workerLoop(int index)
     }
 }
 
+struct TaskGroup::State
+{
+    std::mutex mutex;
+    std::condition_variable done;
+    std::deque<std::function<void()>> tasks;
+    size_t unfinished = 0; ///< submitted tasks not yet completed.
+
+    /** Claim and run one unstarted task; false when none remain. */
+    static bool runOne(const std::shared_ptr<State> &st)
+    {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(st->mutex);
+            if (st->tasks.empty())
+                return false;
+            task = std::move(st->tasks.front());
+            st->tasks.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(st->mutex);
+            if (--st->unfinished == 0)
+                st->done.notify_all();
+        }
+        return true;
+    }
+};
+
+TaskGroup::TaskGroup(ThreadPool *pool)
+    : pool_(pool), state_(std::make_shared<State>())
+{
+}
+
+TaskGroup::~TaskGroup()
+{
+    // Safety net for early exits; normal use calls wait() explicitly.
+    wait();
+}
+
+void
+TaskGroup::submit(std::function<void()> task)
+{
+    vvsp_assert(task != nullptr, "null task submitted to group");
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->tasks.push_back(std::move(task));
+        state_->unfinished++;
+    }
+    if (pool_) {
+        // The helper may find the caller already ran the task; it
+        // then returns without touching the group.
+        std::shared_ptr<State> st = state_;
+        pool_->submit([st] { State::runOne(st); });
+    }
+}
+
+void
+TaskGroup::wait()
+{
+    while (State::runOne(state_)) {
+    }
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock,
+                      [this] { return state_->unfinished == 0; });
+}
+
 } // namespace vvsp

@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -67,6 +68,47 @@ class ThreadPool
     std::condition_variable allIdle_;
     size_t running_ = 0;
     bool stopping_ = false;
+};
+
+/**
+ * A joinable batch of tasks with a caller-runs-tasks wait.
+ *
+ * Unlike ThreadPool::wait() (which waits for the *whole* queue and
+ * blocks the caller idle), a TaskGroup tracks only its own tasks, and
+ * the waiting caller claims and executes unstarted group tasks
+ * itself. That makes nested parallelism deadlock-free: a pool worker
+ * may open a group on the same pool it runs on - if every other
+ * worker is busy, the caller simply executes its own tasks inline and
+ * wait() still terminates. With a null pool the group degrades to
+ * plain deferred sequential execution in wait().
+ *
+ * The group hands each task to at most one executor (pool worker or
+ * the waiting caller); helpers that find the task already claimed
+ * return without running anything.
+ */
+class TaskGroup
+{
+  public:
+    /** Tasks will be offered to `pool` (may be null: run in wait()). */
+    explicit TaskGroup(ThreadPool *pool);
+
+    /** wait() must have been called (and returned) before destruction
+     *  if any task was submitted. */
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue a task belonging to this group. */
+    void submit(std::function<void()> task);
+
+    /** Run/await every submitted task; the caller helps execute. */
+    void wait();
+
+  private:
+    struct State;
+    ThreadPool *pool_;
+    std::shared_ptr<State> state_;
 };
 
 } // namespace vvsp

@@ -58,18 +58,34 @@ class Folder
     }
 
   private:
-    using Known = std::map<Vreg, Operand>;
+    /**
+     * Known copies/constants with lazy invalidation: an entry
+     * "r -> value at stamp" is live only while neither r nor (for
+     * copies) the source register has been redefined since `stamp`.
+     * Redefining a register is a single generation bump instead of
+     * the historical scan of every known entry per definition, which
+     * was quadratic on unrolled kernels.
+     */
+    struct KnownVal
+    {
+        Operand value;
+        uint32_t stamp;
+    };
+    using Known = std::map<Vreg, KnownVal>;
+
+    uint32_t
+    genOf(Vreg r) const
+    {
+        return r < regGen_.size() ? regGen_[r] : 0;
+    }
 
     void
     invalidate(Known &known, Vreg dst)
     {
-        known.erase(dst);
-        for (auto it = known.begin(); it != known.end();) {
-            if (it->second.isReg() && it->second.reg == dst)
-                it = known.erase(it);
-            else
-                ++it;
-        }
+        (void)known;
+        if (dst >= regGen_.size())
+            regGen_.resize(static_cast<size_t>(dst) + 1, 0);
+        regGen_[dst] = ++tick_;
     }
 
     void
@@ -78,8 +94,14 @@ class Folder
         if (!o.isReg())
             return;
         auto it = known.find(o.reg);
-        if (it != known.end())
-            o = it->second;
+        if (it == known.end())
+            return;
+        const KnownVal &k = it->second;
+        if (genOf(o.reg) > k.stamp)
+            return; // target redefined since recorded.
+        if (k.value.isReg() && genOf(k.value.reg) > k.stamp)
+            return; // copy source redefined since recorded.
+        o = k.value;
     }
 
     /** Try algebraic identities; returns true if rewritten. */
@@ -191,7 +213,7 @@ class Folder
                 invalidate(known, op.dst);
                 if (op.op == Opcode::Mov && !op.isPredicated() &&
                     !(op.src[0].isReg() && op.src[0].reg == op.dst)) {
-                    known[op.dst] = op.src[0];
+                    known[op.dst] = KnownVal{op.src[0], tick_};
                 }
             }
         }
@@ -269,6 +291,8 @@ class Folder
     }
 
     Function &fn_;
+    std::vector<uint32_t> regGen_;
+    uint32_t tick_ = 0;
 };
 
 } // anonymous namespace

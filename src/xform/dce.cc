@@ -2,6 +2,13 @@
  * @file
  * Dead-code elimination: removes pure operations whose results are
  * never read, empty blocks, and empty control structures.
+ *
+ * Use counts are computed once and maintained incrementally as ops
+ * and control nodes are removed (each removal decrements the counts
+ * of the registers it read). The transitively-dead set is a unique
+ * fixed point, so this converges to exactly the IR the historical
+ * recount-every-round loop produced, without the O(rounds x
+ * function) recounting that dominated cleanup on unrolled kernels.
  */
 
 #include "xform/passes.hh"
@@ -20,10 +27,16 @@ hasSideEffects(const Operation &op)
     return op.op == Opcode::Store || op.info().isBranch;
 }
 
-bool
-removeDeadOps(Function &fn)
+void
+releaseUse(std::vector<uint32_t> &counts, const Operand &o)
 {
-    auto counts = useCounts(fn);
+    if (o.isReg() && o.reg < counts.size() && counts[o.reg] > 0)
+        counts[o.reg]--;
+}
+
+bool
+removeDeadOps(Function &fn, std::vector<uint32_t> &counts)
+{
     bool changed = false;
     forEachBlock(fn, [&](BlockNode &block) {
         auto keep = [&](const Operation &op) {
@@ -39,8 +52,13 @@ removeDeadOps(Function &fn)
         std::vector<Operation> kept;
         kept.reserve(block.ops.size());
         for (auto &op : block.ops) {
-            if (keep(op))
+            if (keep(op)) {
                 kept.push_back(op);
+            } else {
+                for (const auto &s : op.src)
+                    releaseUse(counts, s);
+                releaseUse(counts, op.pred);
+            }
         }
         if (kept.size() != before) {
             block.ops = std::move(kept);
@@ -51,7 +69,7 @@ removeDeadOps(Function &fn)
 }
 
 bool
-pruneEmptyNodes(NodeList &list)
+pruneEmptyNodes(NodeList &list, std::vector<uint32_t> &counts)
 {
     bool changed = false;
     for (size_t i = 0; i < list.size();) {
@@ -63,18 +81,25 @@ pruneEmptyNodes(NodeList &list)
             break;
           case NodeKind::Loop: {
             auto &loop = static_cast<LoopNode &>(n);
-            changed |= pruneEmptyNodes(loop.body);
+            changed |= pruneEmptyNodes(loop.body, counts);
             // Only counted loops can be dropped when empty; an empty
             // dynamic loop would spin forever and is a kernel bug the
             // verifier reports instead.
             erase = loop.body.empty() && loop.tripCount >= 0;
+            if (erase) {
+                releaseUse(counts, loop.ivInit);
+                if (loop.boundVreg != kNoVreg)
+                    releaseUse(counts, Operand::ofReg(loop.boundVreg));
+            }
             break;
           }
           case NodeKind::If: {
             auto &iff = static_cast<IfNode &>(n);
-            changed |= pruneEmptyNodes(iff.thenBody);
-            changed |= pruneEmptyNodes(iff.elseBody);
+            changed |= pruneEmptyNodes(iff.thenBody, counts);
+            changed |= pruneEmptyNodes(iff.elseBody, counts);
             erase = iff.thenBody.empty() && iff.elseBody.empty();
+            if (erase)
+                releaseUse(counts, iff.cond);
             break;
           }
           case NodeKind::Break:
@@ -95,8 +120,11 @@ pruneEmptyNodes(NodeList &list)
 void
 deadCodeElim(Function &fn)
 {
-    // Removing an op can make its producers dead; iterate.
-    while (removeDeadOps(fn) || pruneEmptyNodes(fn.body)) {
+    // Removing an op can make its producers dead; iterate on the
+    // incrementally-maintained counts until nothing changes.
+    std::vector<uint32_t> counts = useCounts(fn);
+    while (removeDeadOps(fn, counts) ||
+           pruneEmptyNodes(fn.body, counts)) {
     }
 }
 

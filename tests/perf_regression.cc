@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Perf regression gate (ctest -L perf-smoke): times a 6-cell cold
+ * mini-sweep (no caches, so every cell runs the full lowering /
+ * interpret / schedule pipeline) and fails when throughput drops more
+ * than 30% below the committed floor in tests/perf_floor.json. The
+ * floor is deliberately conservative - it catches the scheduler
+ * falling off its fast path (accidental per-attempt allocation,
+ * bitmap scans reverting to row probing), not machine noise.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "arch/models.hh"
+#include "core/sweep.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+/** 6 cells: three Three-step Search variants on two models. */
+std::vector<ExperimentRequest>
+miniGrid()
+{
+    const KernelSpec &k = kernelByName("Three-step Search");
+    std::vector<ExperimentRequest> reqs;
+    for (const VariantSpec &v : k.variants) {
+        if (reqs.size() >= 6)
+            break;
+        for (const char *name : {"I4C8S4", "I2C16S4"}) {
+            ExperimentRequest req;
+            req.kernel = &k;
+            req.variant = &v;
+            req.model = models::byName(name);
+            req.profileUnits = 1;
+            reqs.push_back(req);
+        }
+    }
+    return reqs;
+}
+
+/** Pull "cells_per_s_floor": N.N out of the tiny floor file. */
+double
+readFloor(const char *path)
+{
+    std::FILE *f = std::fopen(path, "r");
+    if (!f) {
+        std::fprintf(stderr, "cannot read floor file %s\n", path);
+        return -1.0;
+    }
+    char buf[512];
+    size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    buf[n] = '\0';
+    const char *key = std::strstr(buf, "\"cells_per_s_floor\"");
+    double floor = -1.0;
+    if (!key || std::sscanf(key, "\"cells_per_s_floor\": %lf",
+                            &floor) != 1) {
+        std::fprintf(stderr, "no cells_per_s_floor in %s\n", path);
+        return -1.0;
+    }
+    return floor;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: perf_regression FLOOR.json\n");
+        return 2;
+    }
+    double floor = readFloor(argv[1]);
+    if (floor <= 0.0)
+        return 2;
+
+    std::vector<ExperimentRequest> grid = miniGrid();
+    SweepOptions opts;
+    opts.useCache = false; // cold: measure the pipeline, not memo hits.
+    SweepRunner runner(opts);
+
+    // One untimed warm-up run hides one-time costs (kernel spec
+    // construction, thread spin-up) that are not the regression
+    // target; the timed run is still fully cold w.r.t. caches.
+    runner.run(grid);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<ExperimentResult> results = runner.run(grid);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    for (const ExperimentResult &r : results) {
+        if (r.checked && !r.passed) {
+            std::fprintf(stderr, "cell failed its golden check\n");
+            return 1;
+        }
+    }
+
+    double cells_per_s = static_cast<double>(grid.size()) / secs;
+    double cutoff = 0.7 * floor; // fail >30% below the floor.
+    std::printf("perf regression: %zu cells in %.3fs = %.2f cells/s "
+                "(floor %.2f, cutoff %.2f)\n",
+                grid.size(), secs, cells_per_s, floor, cutoff);
+    if (cells_per_s < cutoff) {
+        std::fprintf(stderr,
+                     "FAIL: cold mini-sweep throughput %.2f cells/s "
+                     "is >30%% below the committed floor %.2f\n",
+                     cells_per_s, floor);
+        return 1;
+    }
+    return 0;
+}
