@@ -17,6 +17,10 @@
  * disk-warm wall time, cells per second, and cache hit rates. The
  * disk-warm pass uses a throwaway cache directory and a fresh
  * in-memory cache, so it measures exactly the persistent layer.
+ * `--ledger [FILE]` additionally appends the same measurements as a
+ * RunManifest to the run ledger (default obs::defaultLedgerPath()),
+ * so `vvsp report`/`vvsp diff` see bench refreshes next to real runs
+ * (the `bench-refresh` CMake target drives both flags together).
  */
 
 #include <benchmark/benchmark.h>
@@ -26,12 +30,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <filesystem>
 #include <string>
 
+#include "arch/config_json.hh"
 #include "arch/models.hh"
 #include "core/disk_cache.hh"
 #include "core/sweep.hh"
+#include "obs/run_ledger.hh"
 
 using namespace vvsp;
 
@@ -143,9 +150,35 @@ secondsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Ledger manifest for one --json measurement (see file comment). */
+bool
+appendBenchManifest(const std::string &ledger_path, size_t cells,
+                    int threads, double cold_s, double warm_s,
+                    double disk_s)
+{
+    obs::RunManifest m;
+    m.unixTime = static_cast<int64_t>(std::time(nullptr));
+    m.subcommand = "bench/sweep_throughput";
+    for (const DatapathConfig &cfg : models::table1Models())
+        m.machines.emplace_back(cfg.name, canonicalMachineKey(cfg));
+    m.threads = threads;
+    m.diskCache = false; // the disk-warm pass uses a throwaway dir.
+    m.wallUs = static_cast<uint64_t>((cold_s + warm_s + disk_s) * 1e6);
+    double n = static_cast<double>(cells);
+    m.metrics.emplace_back("cells", n);
+    m.metrics.emplace_back("cold_wall_s", cold_s);
+    m.metrics.emplace_back("cold_cells_per_s", n / cold_s);
+    m.metrics.emplace_back("warm_wall_s", warm_s);
+    m.metrics.emplace_back("warm_cells_per_s", n / warm_s);
+    m.metrics.emplace_back("disk_warm_wall_s", disk_s);
+    m.metrics.emplace_back("disk_warm_cells_per_s", n / disk_s);
+    return obs::appendToLedger(ledger_path, m);
+}
+
 /** One-shot measurement for CI trend lines; see the file comment. */
 int
-runJsonMode(const std::string &out_path)
+runJsonMode(const std::string &out_path,
+            const std::string &ledger_path)
 {
     const auto &grid = table1Grid();
     const double cells = static_cast<double>(grid.size());
@@ -235,6 +268,17 @@ runJsonMode(const std::string &out_path)
     std::printf("wrote %s (cold %.2fs, warm %.2fs, disk-warm %.2fs "
                 "for %zu cells)\n",
                 out_path.c_str(), cold_s, warm_s, disk_s, grid.size());
+    if (!ledger_path.empty()) {
+        if (!appendBenchManifest(ledger_path, grid.size(),
+                                 runner.threadCount(), cold_s, warm_s,
+                                 disk_s)) {
+            std::fprintf(stderr, "cannot append to ledger %s\n",
+                         ledger_path.c_str());
+            return 1;
+        }
+        std::printf("appended bench manifest to %s\n",
+                    ledger_path.c_str());
+    }
     return 0;
 }
 
@@ -243,13 +287,25 @@ runJsonMode(const std::string &out_path)
 int
 main(int argc, char **argv)
 {
+    bool json_mode = false;
+    bool ledger = false;
+    std::string out = "BENCH_sweep.json";
+    std::string ledger_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
-            std::string out = "BENCH_sweep.json";
+            json_mode = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
-                out = argv[i + 1];
-            return runJsonMode(out);
+                out = argv[++i];
+        } else if (std::strcmp(argv[i], "--ledger") == 0) {
+            ledger = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                ledger_path = argv[++i];
         }
+    }
+    if (json_mode) {
+        if (ledger && ledger_path.empty())
+            ledger_path = obs::defaultLedgerPath();
+        return runJsonMode(out, ledger_path);
     }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -69,6 +69,14 @@ int
 cmdConclusions(const ExperimentSpec &spec, const DriverOptions &opts)
 {
     Observability sinks(opts);
+    {
+        // The conclusions model set is declared by the spec, not
+        // --machine; record it for the ledger manifest all the same.
+        std::vector<DatapathConfig> model_set;
+        for (const std::string &name : spec.models)
+            model_set.push_back(models::byName(name));
+        sinks.setMachines(model_set);
+    }
     DiskCacheAttachment disk(opts);
     SweepOptions sopts = sweepOptions(opts, sinks);
 

@@ -112,6 +112,8 @@ cmdExplore(const DriverOptions &opts)
     AreaEstimator area;
     ClockEstimator clock;
     Observability sinks(opts);
+    if (sweep.base)
+        sinks.setMachines({*sweep.base});
     DiskCacheAttachment disk(opts);
 
     // Enumerate and price serially (cheap), then score the surviving

@@ -225,20 +225,34 @@ table1Headers()
 int
 cmdFigs(const DriverOptions &opts)
 {
+    // figs runs no sweeps, but it shares the observability surface:
+    // each figure is a timed phase, so --profile/--stats/--ledger
+    // work here exactly like on the experiment subcommands.
+    Observability sinks(opts);
+    SweepOptions sopts;
+    sinks.configure(sopts);
+    obs::StatsScope phase(sopts.stats, "phase");
+
     std::vector<std::string> which = opts.positional;
     if (which.empty())
         which = {"fig2", "fig3", "fig4", "fig5", "headers"};
     for (const std::string &name : which) {
+        auto timed = [&phase, &name](auto &&fig) {
+            obs::timedPhase(phase, name.c_str(), [&fig] {
+                fig();
+                return 0;
+            });
+        };
         if (name == "fig2") {
-            fig2Crossbar();
+            timed(fig2Crossbar);
         } else if (name == "fig3") {
-            fig3Regfile();
+            timed(fig3Regfile);
         } else if (name == "fig4") {
-            fig4Sram();
+            timed(fig4Sram);
         } else if (name == "fig5") {
-            fig5Area();
+            timed(fig5Area);
         } else if (name == "headers") {
-            table1Headers();
+            timed(table1Headers);
         } else {
             std::fprintf(stderr,
                          "vvsp: unknown figure '%s' (figures: fig2 "

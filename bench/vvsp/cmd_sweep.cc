@@ -53,6 +53,7 @@ cmdSweep(const DriverOptions &opts)
     }
 
     Observability sinks(opts);
+    sinks.setMachines(machines);
     DiskCacheAttachment disk(opts);
     for (const SpecSection *s : sections) {
         SectionGrid grid =

@@ -57,6 +57,7 @@ cmdTable(const ExperimentSpec &spec, const DriverOptions &opts)
 {
     std::vector<DatapathConfig> machines = resolveMachines(opts);
     Observability sinks(opts);
+    sinks.setMachines(machines);
     DiskCacheAttachment disk(opts);
     for (const SpecSection *s : selectSections(spec, opts)) {
         SectionGrid grid =
@@ -71,6 +72,7 @@ cmdAblation(const ExperimentSpec &spec, const DriverOptions &opts)
 {
     std::vector<DatapathConfig> machines = resolveMachines(opts);
     Observability sinks(opts);
+    sinks.setMachines(machines);
     DiskCacheAttachment disk(opts);
 
     const SpecSection &section = spec.sections.front();

@@ -59,6 +59,7 @@ cmdUtilization(const ExperimentSpec &spec, const DriverOptions &opts)
     }
 
     Observability sinks(opts);
+    sinks.setMachines(model_set);
     DiskCacheAttachment disk(opts);
     if (opts.stats)
         obs::setGlobalStats(&sinks.stats());

@@ -3,7 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
+#include <thread>
 
+#include "arch/config_json.hh"
 #include "support/table.hh"
 
 namespace vvsp
@@ -22,7 +25,9 @@ usageAndExit(const char *prog)
                  "[--threads=N] [--machine=NAME|FILE.json ...] "
                  "[--variant=NAME] [--no-cache] [--no-disk-cache] "
                  "[--cache-dir=DIR] [--stats[=json]] [--profile] "
-                 "[--trace=FILE]\n"
+                 "[--trace=FILE] [--ledger[=FILE]]\n"
+                 "report/diff: [--last=N] [--a=IDX] [--b=IDX] "
+                 "[--threshold=R] [--floor=FILE]\n"
                  "run `%s list` for subcommands, sections, and "
                  "models\n",
                  prog, prog);
@@ -77,6 +82,59 @@ parseDriverArgs(int argc, char **argv, int first)
         } else if (std::strncmp(a, "--trace=", 8) == 0 &&
                    a[8] != '\0') {
             opts.traceFile = a + 8;
+        } else if (std::strncmp(a, "--ledger=", 9) == 0 &&
+                   a[9] != '\0') {
+            opts.ledgerPath = a + 9;
+        } else if (std::strcmp(a, "--ledger") == 0) {
+            // Bare --ledger: the default ledger, unless the next
+            // argument looks like a path (so the acceptance-style
+            // `--ledger /tmp/l.jsonl` spelling also works; sections
+            // and model names never contain '/' or '.').
+            if (i + 1 < argc && argv[i + 1][0] != '-' &&
+                (std::strchr(argv[i + 1], '/') ||
+                 std::strchr(argv[i + 1], '.'))) {
+                opts.ledgerPath = argv[++i];
+            } else {
+                opts.ledgerPath = obs::defaultLedgerPath();
+            }
+        } else if (std::strncmp(a, "--last=", 7) == 0) {
+            char *end = nullptr;
+            long n = std::strtol(a + 7, &end, 10);
+            if (end == a + 7 || *end != '\0' || n <= 0) {
+                std::fprintf(stderr,
+                             "%s: --last wants a positive integer, "
+                             "got '%s'\n",
+                             argv[0], a + 7);
+                std::exit(2);
+            }
+            opts.lastN = static_cast<int>(n);
+        } else if (std::strncmp(a, "--a=", 4) == 0 ||
+                   std::strncmp(a, "--b=", 4) == 0) {
+            char *end = nullptr;
+            long n = std::strtol(a + 4, &end, 10);
+            if (end == a + 4 || *end != '\0') {
+                std::fprintf(stderr,
+                             "%s: %.3s wants an entry index "
+                             "(negative = from the end), got '%s'\n",
+                             argv[0], a, a + 4);
+                std::exit(2);
+            }
+            (a[2] == 'a' ? opts.diffA : opts.diffB) =
+                static_cast<int>(n);
+        } else if (std::strncmp(a, "--threshold=", 12) == 0) {
+            char *end = nullptr;
+            opts.threshold = std::strtod(a + 12, &end);
+            if (end == a + 12 || *end != '\0' ||
+                opts.threshold <= 1.0) {
+                std::fprintf(stderr,
+                             "%s: --threshold wants a ratio > 1.0, "
+                             "got '%s'\n",
+                             argv[0], a + 12);
+                std::exit(2);
+            }
+        } else if (std::strncmp(a, "--floor=", 8) == 0 &&
+                   a[8] != '\0') {
+            opts.floorPath = a + 8;
         } else if (std::strncmp(a, "--clusters=", 11) == 0) {
             opts.clustersList = a + 11;
         } else if (std::strncmp(a, "--slots=", 8) == 0) {
@@ -199,15 +257,67 @@ Observability::~Observability()
                      "chrome://tracing)\n",
                      trace_.sliceCount(), opts_.traceFile.c_str());
     }
+    if (!opts_.ledgerPath.empty()) {
+        obs::RunManifest m;
+        m.unixTime = static_cast<int64_t>(std::time(nullptr));
+        m.subcommand = opts_.subcommand;
+        m.machines = machines_;
+        m.threads =
+            opts_.threads
+                ? opts_.threads
+                : static_cast<int>(
+                      std::thread::hardware_concurrency());
+        m.memoCache = opts_.cache;
+        m.diskCache = opts_.cache && opts_.diskCache;
+        m.cacheDir = !m.diskCache ? ""
+                     : opts_.cacheDir.empty()
+                         ? DiskCache::defaultDir()
+                         : opts_.cacheDir;
+        m.wallUs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+        obs::snapshotStats(stats_, m);
+        double wall_s = static_cast<double>(m.wallUs) / 1e6;
+        uint64_t cells = stats_.counterValue("sweep/cells");
+        m.metrics.emplace_back("wall_s", wall_s);
+        if (cells > 0) {
+            m.metrics.emplace_back("cells",
+                                   static_cast<double>(cells));
+            if (wall_s > 0) {
+                m.metrics.emplace_back(
+                    "cells_per_s",
+                    static_cast<double>(cells) / wall_s);
+            }
+        }
+        if (obs::appendToLedger(opts_.ledgerPath, m)) {
+            std::fprintf(stderr, "ledger: appended '%s' entry to %s\n",
+                         opts_.subcommand.c_str(),
+                         opts_.ledgerPath.c_str());
+        } else {
+            std::fprintf(stderr, "ledger: cannot append to %s\n",
+                         opts_.ledgerPath.c_str());
+        }
+    }
 }
 
 void
 Observability::configure(SweepOptions &sopts)
 {
-    if (opts_.stats || opts_.profile)
+    // The ledger persists the registry snapshot, so recording must be
+    // on whenever any consumer (print, profile, or ledger) wants it.
+    if (opts_.stats || opts_.profile || !opts_.ledgerPath.empty())
         sopts.stats = &stats_;
     if (!opts_.traceFile.empty())
         sopts.trace = &trace_;
+}
+
+void
+Observability::setMachines(const std::vector<DatapathConfig> &machines)
+{
+    machines_.clear();
+    for (const DatapathConfig &m : machines)
+        machines_.emplace_back(m.name, canonicalMachineKey(m));
 }
 
 DiskCacheAttachment::DiskCacheAttachment(const DriverOptions &opts)

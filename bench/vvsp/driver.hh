@@ -19,10 +19,13 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "arch/model_registry.hh"
 #include "core/disk_cache.hh"
 #include "core/experiment_spec.hh"
 #include "core/sweep.hh"
+#include "obs/run_ledger.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 
@@ -34,6 +37,8 @@ namespace cli
 /** Options shared by every subcommand. */
 struct DriverOptions
 {
+    /** Subcommand word, recorded into ledger manifests (vvsp.cc). */
+    std::string subcommand;
     bool json = false;
     /** Worker threads; 0 = flag absent = hardware concurrency. */
     int threads = 0;
@@ -44,6 +49,15 @@ struct DriverOptions
     bool statsJson = false; ///< ... in JSON form.
     bool profile = false;   ///< per-phase wall-time breakdown.
     std::string traceFile;  ///< trace_event output path ("" = off).
+    /** Run-ledger JSONL path ("" = no manifest appended). */
+    std::string ledgerPath;
+
+    // `report`/`diff` options.
+    int lastN = 10;         ///< --last=N entries per report group.
+    int diffA = -2;         ///< --a=IDX baseline (negative = from end).
+    int diffB = -1;         ///< --b=IDX candidate.
+    double threshold = 1.5; ///< --threshold regression ratio.
+    std::string floorPath;  ///< --floor=FILE perf-floor JSON.
     /** --machine/--model column set: registry names or JSON paths. */
     std::vector<std::string> machines;
     /** --variant row filter ("" = every row). */
@@ -82,22 +96,34 @@ resolveMachines(const DriverOptions &opts,
 /**
  * Per-run observability sinks: one registry and one trace shared by
  * every section a subcommand runs, emitted on destruction. Wire
- * `sinks.configure(sopts)` into each SweepOptions.
+ * `sinks.configure(sopts)` into each SweepOptions. When --ledger is
+ * set, destruction also appends a structured RunManifest (machines,
+ * cache config, phase timers with quantiles, throughput) to the
+ * JSONL run ledger.
  */
 class Observability
 {
   public:
-    explicit Observability(const DriverOptions &opts) : opts_(opts) {}
+    explicit Observability(const DriverOptions &opts)
+        : opts_(opts), start_(std::chrono::steady_clock::now())
+    {
+    }
     ~Observability();
 
     /** Point a sweep's stats/trace fields at these sinks. */
     void configure(SweepOptions &sopts);
+
+    /** Record the resolved machine set for the ledger manifest. */
+    void setMachines(const std::vector<DatapathConfig> &machines);
 
     obs::StatsRegistry &stats() { return stats_; }
     obs::TraceWriter &trace() { return trace_; }
 
   private:
     DriverOptions opts_;
+    std::chrono::steady_clock::time_point start_;
+    /** (display name, canonical key) pairs for the manifest. */
+    std::vector<std::pair<std::string, std::string>> machines_;
     obs::StatsRegistry stats_;
     obs::TraceWriter trace_;
 };
@@ -146,6 +172,8 @@ int cmdUtilization(const ExperimentSpec &spec,
 int cmdFigs(const DriverOptions &opts);
 int cmdSweep(const DriverOptions &opts);
 int cmdExplore(const DriverOptions &opts);
+int cmdReport(const DriverOptions &opts);
+int cmdDiff(const DriverOptions &opts);
 
 } // namespace cli
 } // namespace vvsp

@@ -13,12 +13,14 @@
  *   vvsp figs [which]       Figures 2-5 and the table header rows
  *   vvsp sweep [section]    Table 1 kernels on any --machine set
  *   vvsp explore            design-space exploration
+ *   vvsp report             summarize recent run-ledger entries
+ *   vvsp diff               compare two ledger entries (or a floor)
  *   vvsp list               specs, sections, models, machine files
  *
  * Every subcommand accepts the uniform flag set (--json, --threads=N,
  * --machine, --variant, --no-cache, --no-disk-cache, --cache-dir,
- * --stats[=json], --trace=FILE); run `vvsp list` for the registered
- * names. Machines can be registry names (with +2LS/+AD suffixes) or
+ * --stats[=json], --trace=FILE, --ledger[=FILE]); run `vvsp list`
+ * for the registered names. Machines can be registry names (with +2LS/+AD suffixes) or
  * JSON machine files, which run through the identical pipeline
  * including the content-addressed disk cache.
  */
@@ -71,14 +73,17 @@ usage(FILE *out)
     std::fprintf(out,
                  "usage: vvsp <subcommand> [args] [flags]\n"
                  "subcommands: table1 table2 ablation conclusions "
-                 "utilization figs sweep explore list\n"
+                 "utilization figs sweep explore report diff list\n"
                  "flags: --json --threads=N --machine=NAME|FILE.json "
                  "--model=NAME --variant=NAME\n"
                  "       --no-cache --no-disk-cache --cache-dir=DIR "
-                 "--stats[=json] --trace=FILE\n"
+                 "--stats[=json] --trace=FILE --ledger[=FILE]\n"
                  "explore: --clusters=L --slots=L --regs=L "
                  "--mem-kb=L --stages=L --mul16 --max-area=MM2 "
                  "--no-score\n"
+                 "report:  --ledger[=FILE] --last=N\n"
+                 "diff:    --ledger[=FILE] --a=IDX --b=IDX "
+                 "--threshold=R --floor=FILE\n"
                  "run `vvsp list` for sections and models\n");
     return out == stdout ? 0 : 2;
 }
@@ -97,6 +102,7 @@ main(int argc, char **argv)
         return cmdList();
 
     DriverOptions opts = parseDriverArgs(argc, argv, 2);
+    opts.subcommand = cmd;
 
     if (cmd == "table1" || cmd == "table2")
         return cmdTable(*findExperimentSpec(cmd), opts);
@@ -112,6 +118,10 @@ main(int argc, char **argv)
         return cmdSweep(opts);
     if (cmd == "explore")
         return cmdExplore(opts);
+    if (cmd == "report")
+        return cmdReport(opts);
+    if (cmd == "diff")
+        return cmdDiff(opts);
 
     std::fprintf(stderr, "vvsp: unknown subcommand '%s'\n",
                  cmd.c_str());

@@ -1,6 +1,7 @@
 #include "core/disk_cache.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -10,6 +11,7 @@
 
 #include <unistd.h>
 
+#include "obs/stats_registry.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -187,7 +189,7 @@ serialize(std::ostream &os, const std::string &key,
     os << "end\n";
 }
 
-bool
+DiskLoadOutcome
 deserialize(std::istream &is, const std::string &key,
             ExperimentResult &out)
 {
@@ -197,9 +199,12 @@ deserialize(std::istream &is, const std::string &key,
     int version = -1;
     header >> magic >> version;
     if (!rd.ok() || magic != kMagic || version != kSchemaVersion)
-        return false;
-    if (rd.str() != key || !rd.ok())
-        return false; // different key hashed to this file.
+        return DiskLoadOutcome::Corrupt;
+    std::string stored_key = rd.str();
+    if (!rd.ok())
+        return DiskLoadOutcome::Corrupt;
+    if (stored_key != key)
+        return DiskLoadOutcome::Collision; // other key, same hash.
 
     ExperimentResult res;
     res.kernel = rd.str();
@@ -222,7 +227,7 @@ deserialize(std::istream &is, const std::string &key,
     c.opsPerUnit = rd.f64();
     int64_t num_regions = rd.i64();
     if (!rd.ok() || num_regions < 0 || num_regions > (1 << 20))
-        return false;
+        return DiskLoadOutcome::Corrupt;
     c.regions.resize(static_cast<size_t>(num_regions));
     for (RegionCost &r : c.regions) {
         r.label = rd.str();
@@ -234,9 +239,34 @@ deserialize(std::istream &is, const std::string &key,
         r.maxLive = static_cast<int>(rd.i64());
     }
     if (!rd.ok() || rd.rawLine() != "end")
-        return false; // truncated before the trailer.
+        return DiskLoadOutcome::Corrupt; // truncated before trailer.
     out = std::move(res);
-    return true;
+    return DiskLoadOutcome::Hit;
+}
+
+const char *
+outcomeName(DiskLoadOutcome outcome)
+{
+    switch (outcome) {
+      case DiskLoadOutcome::Hit:
+        return "hit";
+      case DiskLoadOutcome::Miss:
+        return "miss";
+      case DiskLoadOutcome::Corrupt:
+        return "corrupt";
+      case DiskLoadOutcome::Collision:
+        return "collision";
+    }
+    return "unknown";
+}
+
+uint64_t
+usSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 }
 
 } // anonymous namespace
@@ -263,16 +293,45 @@ DiskCache::entryPath(const std::string &key) const
 bool
 DiskCache::load(const std::string &key, ExperimentResult &out) const
 {
-    std::ifstream is(entryPath(key), std::ios::binary);
-    if (!is)
-        return false;
-    return deserialize(is, key, out);
+    return loadClassified(key, out) == DiskLoadOutcome::Hit;
+}
+
+DiskLoadOutcome
+DiskCache::loadClassified(const std::string &key,
+                          ExperimentResult &out) const
+{
+    // The scope check comes first so a disabled registry costs one
+    // branch - no clock reads on the stats-off path.
+    obs::StatsScope stats = obs::globalScope("disk_cache");
+    if (!stats.enabled()) {
+        std::ifstream is(entryPath(key), std::ios::binary);
+        if (!is)
+            return DiskLoadOutcome::Miss;
+        return deserialize(is, key, out);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    DiskLoadOutcome outcome;
+    {
+        std::ifstream is(entryPath(key), std::ios::binary);
+        outcome = is ? deserialize(is, key, out)
+                     : DiskLoadOutcome::Miss;
+    }
+    const char *name = outcomeName(outcome);
+    stats.bump(name);
+    stats.sample(std::string(name) + "_us", usSince(t0));
+    return outcome;
 }
 
 bool
 DiskCache::store(const std::string &key,
                  const ExperimentResult &res) const
 {
+    obs::StatsScope stats = obs::globalScope("disk_cache");
+    const auto t0 = stats.enabled()
+                        ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+
     std::ostringstream body;
     serialize(body, key, res);
 
@@ -286,18 +345,26 @@ DiskCache::store(const std::string &key,
                            std::to_string(seq.fetch_add(1));
     {
         std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os)
+        if (!os) {
+            stats.bump("store_fail");
             return false;
+        }
         os << body.str();
         os.flush();
         if (!os) {
             std::remove(tmp_path.c_str());
+            stats.bump("store_fail");
             return false;
         }
     }
     if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
         std::remove(tmp_path.c_str());
+        stats.bump("store_fail");
         return false;
+    }
+    if (stats.enabled()) {
+        stats.bump("store");
+        stats.sample("store_us", usSince(t0));
     }
     return true;
 }

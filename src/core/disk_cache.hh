@@ -34,6 +34,15 @@
 namespace vvsp
 {
 
+/** Why a disk-cache lookup did (or did not) produce a result. */
+enum class DiskLoadOutcome
+{
+    Hit,       ///< entry found and deserialized bit-exactly.
+    Miss,      ///< no entry file for this key.
+    Corrupt,   ///< malformed, truncated, or stale-schema entry.
+    Collision, ///< a different key hashed to this entry file.
+};
+
 /** One directory of content-keyed experiment results. */
 class DiskCache
 {
@@ -47,6 +56,16 @@ class DiskCache
      * hash-collision entries.
      */
     bool load(const std::string &key, ExperimentResult &out) const;
+
+    /**
+     * load() with the outcome classified. When a global stats
+     * registry is installed, each lookup also records a
+     * "disk_cache/<outcome>" counter and a
+     * "disk_cache/<outcome>_us" latency distribution, so cache tail
+     * latency is visible to --stats and the run ledger.
+     */
+    DiskLoadOutcome loadClassified(const std::string &key,
+                                   ExperimentResult &out) const;
 
     /**
      * Atomically publish an entry for a content key. Returns whether

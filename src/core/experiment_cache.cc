@@ -1,9 +1,11 @@
 #include "core/experiment_cache.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "arch/config_json.hh"
 #include "core/disk_cache.hh"
+#include "obs/stats_registry.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -65,6 +67,25 @@ ExperimentCache::findResult(const std::string &key,
                             const std::string &model_name,
                             ExperimentResult &out)
 {
+    // Lookup-latency telemetry (memo/{hit,miss}_us) when a registry
+    // is installed; the scope check keeps the stats-off warm path
+    // free of clock reads.
+    obs::StatsScope memo = obs::globalScope("memo");
+    const auto t0 = memo.enabled()
+                        ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+    auto record = [&memo, t0](const char *outcome) {
+        if (memo.enabled()) {
+            memo.sample(
+                std::string(outcome) + "_us",
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
+    };
+
     DiskCache *disk;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -73,11 +94,13 @@ ExperimentCache::findResult(const std::string &key,
             ++stats_.resultHits;
             out = it->second;
             out.model = model_name;
+            record("hit");
             return true;
         }
         disk = disk_;
         if (!disk) {
             ++stats_.resultMisses;
+            record("miss");
             return false;
         }
     }
@@ -91,11 +114,13 @@ ExperimentCache::findResult(const std::string &key,
         results_.try_emplace(key, res);
         out = std::move(res);
         out.model = model_name;
+        record("hit");
         return true;
     }
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.diskMisses;
     ++stats_.resultMisses;
+    record("miss");
     return false;
 }
 

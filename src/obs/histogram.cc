@@ -1,0 +1,110 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace vvsp
+{
+namespace obs
+{
+
+void
+Log2Histogram::sample(uint64_t v)
+{
+    ++counts_[static_cast<size_t>(std::bit_width(v))];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    for (size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += o.counts_[i];
+    if (count_ == 0) {
+        min_ = o.min_;
+        max_ = o.max_;
+    } else {
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+}
+
+double
+Log2Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+uint64_t
+Log2Histogram::bucketLo(size_t i)
+{
+    return i == 0 ? 0 : uint64_t(1) << (i - 1);
+}
+
+uint64_t
+Log2Histogram::bucketHi(size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~uint64_t(0);
+    return (uint64_t(1) << i) - 1;
+}
+
+double
+Log2Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Continuous 0-based rank; rank 0 is the smallest sample,
+    // count-1 the largest.
+    double rank = q * static_cast<double>(count_ - 1);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        uint64_t c = counts_[i];
+        if (c == 0)
+            continue;
+        if (rank < static_cast<double>(cum + c)) {
+            // Interpolate the rank's position across the bucket's
+            // value range, then clamp to the observed extremes (which
+            // makes single-bucket and constant data exact at q=0/1
+            // and tightens the tails).
+            double frac =
+                c == 1 ? 0.5
+                       : (rank - static_cast<double>(cum)) /
+                             static_cast<double>(c - 1);
+            double lo = static_cast<double>(bucketLo(i));
+            double hi = static_cast<double>(bucketHi(i));
+            double v = lo + frac * (hi - lo);
+            v = std::max(v, static_cast<double>(min()));
+            v = std::min(v, static_cast<double>(max()));
+            return v;
+        }
+        cum += c;
+    }
+    return static_cast<double>(max());
+}
+
+bool
+Log2Histogram::operator==(const Log2Histogram &o) const
+{
+    return counts_ == o.counts_ && count_ == o.count_ &&
+           sum_ == o.sum_ && min() == o.min() && max() == o.max();
+}
+
+} // namespace obs
+} // namespace vvsp

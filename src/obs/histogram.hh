@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Log2-bucketed latency histogram with quantile estimation.
+ *
+ * A Log2Histogram buckets non-negative integer samples by bit width
+ * (bucket i holds values in [2^(i-1), 2^i)), giving a fixed 520-byte
+ * footprint and O(1) sampling regardless of the value range - the
+ * standard shape for microsecond-latency telemetry, where tail
+ * behaviour spans six orders of magnitude. Quantiles (p50/p90/p99)
+ * are estimated by linear interpolation inside the bucket the rank
+ * falls into and clamped to the observed [min, max], so the estimate
+ * is exact for constant data and within one bucket (a factor of 2)
+ * otherwise.
+ *
+ * Determinism contract: the histogram is a commutative accumulator
+ * over integers - counts, sum, min, and max - so merging per-thread
+ * histograms of the same multiset of samples yields bit-identical
+ * state in any merge order and at any thread count. This is what
+ * lets the run ledger (obs/run_ledger.hh) persist quantiles from a
+ * parallel sweep without perturbing the sweep-stats determinism
+ * tests.
+ */
+
+#ifndef VVSP_OBS_HISTOGRAM_HH
+#define VVSP_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vvsp
+{
+namespace obs
+{
+
+/** Fixed-size log2 histogram over uint64 samples. */
+class Log2Histogram
+{
+  public:
+    /** Bucket i holds values of bit width i; 0 has its own bucket. */
+    static constexpr size_t kBuckets = 65;
+
+    void sample(uint64_t v);
+
+    /** Fold another histogram in (order-independent). */
+    void merge(const Log2Histogram &o);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    /** Smallest / largest sample; 0 when empty. */
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const;
+
+    uint64_t bucketCount(size_t i) const { return counts_[i]; }
+
+    /** Inclusive value range covered by bucket i. */
+    static uint64_t bucketLo(size_t i);
+    static uint64_t bucketHi(size_t i);
+
+    /**
+     * Estimated q-quantile (q in [0, 1]); 0 when empty. Exact when
+     * all samples are equal, otherwise within the sample's bucket.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+
+    bool operator==(const Log2Histogram &o) const;
+
+  private:
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace obs
+} // namespace vvsp
+
+#endif // VVSP_OBS_HISTOGRAM_HH

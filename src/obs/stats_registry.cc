@@ -1,5 +1,6 @@
 #include "obs/stats_registry.hh"
 
+#include <cstdio>
 #include <sstream>
 
 namespace vvsp
@@ -75,6 +76,17 @@ StatsRegistry::distributions() const
     return out;
 }
 
+std::vector<std::pair<std::string, Log2Histogram>>
+StatsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, Log2Histogram>> out;
+    out.reserve(dists_.size());
+    for (const auto &[path, d] : dists_)
+        out.emplace_back(path, d->histogram());
+    return out;
+}
+
 void
 StatsRegistry::clear()
 {
@@ -83,18 +95,34 @@ StatsRegistry::clear()
     dists_.clear();
 }
 
+namespace
+{
+
+std::string
+quantileStr(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+}
+
+} // anonymous namespace
+
 std::string
 StatsRegistry::str() const
 {
     std::ostringstream os;
     for (const auto &[path, value] : counters())
         os << path << " = " << value << "\n";
-    for (const auto &[path, stat] : distributions()) {
-        os << path << " : count=" << stat.count()
-           << " sum=" << stat.sum();
-        if (stat.count() > 0) {
-            os << " min=" << stat.min() << " max=" << stat.max()
-               << " mean=" << stat.mean();
+    for (const auto &[path, hist] : histograms()) {
+        os << path << " : count=" << hist.count()
+           << " sum=" << hist.sum();
+        if (hist.count() > 0) {
+            os << " min=" << hist.min() << " max=" << hist.max()
+               << " mean=" << hist.mean()
+               << " p50=" << quantileStr(hist.p50())
+               << " p90=" << quantileStr(hist.p90())
+               << " p99=" << quantileStr(hist.p99());
         }
         os << "\n";
     }
@@ -130,14 +158,17 @@ StatsRegistry::json() const
     }
     os << "}, \"distributions\": {";
     first = true;
-    for (const auto &[path, stat] : distributions()) {
+    for (const auto &[path, hist] : histograms()) {
         os << (first ? "" : ", ") << "\"";
         jsonEscapeInto(os, path);
-        os << "\": {\"count\": " << stat.count()
-           << ", \"sum\": " << stat.sum();
-        if (stat.count() > 0) {
-            os << ", \"min\": " << stat.min()
-               << ", \"max\": " << stat.max();
+        os << "\": {\"count\": " << hist.count()
+           << ", \"sum\": " << hist.sum();
+        if (hist.count() > 0) {
+            os << ", \"min\": " << hist.min()
+               << ", \"max\": " << hist.max()
+               << ", \"p50\": " << quantileStr(hist.p50())
+               << ", \"p90\": " << quantileStr(hist.p90())
+               << ", \"p99\": " << quantileStr(hist.p99());
         }
         os << "}";
         first = false;

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hh"
 #include "support/stats.hh"
 
 namespace vvsp
@@ -54,7 +55,13 @@ class Counter
     std::atomic<uint64_t> value_{0};
 };
 
-/** Named distribution over integer samples (count/sum/min/max). */
+/**
+ * Named distribution over integer samples. Alongside the running
+ * count/sum/min/max it keeps a log2 bucket histogram, so consumers
+ * (--stats=json, the run ledger) can report p50/p90/p99 latency
+ * estimates; both accumulators are commutative, preserving the
+ * registry's determinism contract.
+ */
 class Distribution
 {
   public:
@@ -63,6 +70,7 @@ class Distribution
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stat_.sample(v);
+        hist_.sample(v);
     }
 
     /** Consistent copy of the accumulated statistics. */
@@ -72,9 +80,17 @@ class Distribution
         return stat_;
     }
 
+    /** Consistent copy of the bucketed histogram. */
+    Log2Histogram histogram() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_;
+    }
+
   private:
     mutable std::mutex mutex_;
     IntStat stat_;
+    Log2Histogram hist_;
 };
 
 class StatsScope;
@@ -107,6 +123,10 @@ class StatsRegistry
 
     /** All distribution (path, snapshot) pairs in path order. */
     std::vector<std::pair<std::string, IntStat>> distributions() const;
+
+    /** All distribution (path, histogram) pairs in path order. */
+    std::vector<std::pair<std::string, Log2Histogram>>
+    histograms() const;
 
     /** Drop every counter and distribution. */
     void clear();

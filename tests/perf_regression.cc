@@ -12,11 +12,14 @@
 #include <cstdio>
 #include <cstring>
 #include <chrono>
+#include <ctime>
 #include <string>
 #include <vector>
 
+#include "arch/config_json.hh"
 #include "arch/models.hh"
 #include "core/sweep.hh"
+#include "obs/run_ledger.hh"
 
 using namespace vvsp;
 
@@ -72,8 +75,10 @@ readFloor(const char *path)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: perf_regression FLOOR.json\n");
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: perf_regression FLOOR.json "
+                     "[LEDGER.jsonl]\n");
         return 2;
     }
     double floor = readFloor(argv[1]);
@@ -108,6 +113,31 @@ main(int argc, char **argv)
     std::printf("perf regression: %zu cells in %.3fs = %.2f cells/s "
                 "(floor %.2f, cutoff %.2f)\n",
                 grid.size(), secs, cells_per_s, floor, cutoff);
+
+    // Optional: record the measurement in the run ledger, so the
+    // perf gate's history is diffable with `vvsp report`/`vvsp diff`.
+    if (argc == 3) {
+        obs::RunManifest m;
+        m.unixTime = static_cast<int64_t>(std::time(nullptr));
+        m.subcommand = "tests/perf_regression";
+        for (const char *name : {"I4C8S4", "I2C16S4"}) {
+            DatapathConfig cfg = models::byName(name);
+            m.machines.emplace_back(cfg.name,
+                                    canonicalMachineKey(cfg));
+        }
+        m.threads = runner.threadCount();
+        m.memoCache = false;
+        m.diskCache = false;
+        m.wallUs = static_cast<uint64_t>(secs * 1e6);
+        m.metrics.emplace_back("cells",
+                               static_cast<double>(grid.size()));
+        m.metrics.emplace_back("wall_s", secs);
+        m.metrics.emplace_back("cells_per_s", cells_per_s);
+        if (obs::appendToLedger(argv[2], m))
+            std::printf("appended manifest to %s\n", argv[2]);
+        else
+            std::fprintf(stderr, "cannot append to %s\n", argv[2]);
+    }
     if (cells_per_s < cutoff) {
         std::fprintf(stderr,
                      "FAIL: cold mini-sweep throughput %.2f cells/s "
