@@ -1,18 +1,37 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the toolchain itself: IR
- * interpretation, list scheduling, modulo scheduling, and cycle
- * simulation throughput. These measure the reproduction
- * infrastructure (useful when extending it), not the paper's
- * processor.
+ * interpretation (tree walker vs bytecode engine), list scheduling,
+ * modulo scheduling, and cycle simulation throughput. These measure
+ * the reproduction infrastructure (useful when extending it), not
+ * the paper's processor.
+ *
+ * The interpreter benches come in tree-walker/bytecode pairs, one
+ * per paper kernel, on the same lowered function and prepared unit;
+ * the ratio is the PR 8 engine speedup. `--json [FILE]` switches to
+ * a single-shot measurement (default BENCH_sim.json) that times both
+ * engines on every kernel, verifies their profiles and post-run
+ * memory images are bit-identical, and writes ops/s plus speedups;
+ * `--ledger [FILE]` additionally appends the measurements to the run
+ * ledger, matching sweep_throughput's convention.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
 #include "arch/models.hh"
 #include "core/experiment.hh"
+#include "obs/run_ledger.hh"
 #include "sched/list_scheduler.hh"
 #include "sched/modulo_scheduler.hh"
+#include "sim/bytecode.hh"
 #include "sim/cycle_sim.hh"
 #include "xform/passes.hh"
 
@@ -27,14 +46,44 @@ fms()
     return kernelByName("Full Motion Search");
 }
 
-void
-BM_InterpreterFullSearchUnit(benchmark::State &state)
+/** One interpreter benchmark subject: a kernel's first variant (the
+ * paper's baseline schedule), or a named one. */
+struct SimCase
 {
-    const VariantSpec &v = fms().variant("Sequential-predicated");
-    MachineModel machine(models::i4c8s4());
-    Function fn = lowerVariant(fms(), v, machine);
+    const char *key;     ///< short name for bench/JSON ids.
+    const char *kernel;  ///< registry kernel name.
+    const char *variant; ///< variant name, nullptr = first.
+};
+
+constexpr SimCase kSimCases[] = {
+    {"full_search", "Full Motion Search", "Sequential-predicated"},
+    {"dct_rowcol", "DCT - row/column", nullptr},
+    {"color_convert", "RGB:YCrCb converter/subsampler", nullptr},
+    {"vbr", "Variable-Bit-Rate Coder", nullptr},
+};
+
+constexpr FrameGeometry kGeometry{48, 32};
+
+/** Lowered function of a case on I4C8S4 (plus forced upgrades). */
+Function
+lowerCase(const SimCase &c)
+{
+    const KernelSpec &k = kernelByName(c.kernel);
+    const VariantSpec &v =
+        c.variant ? k.variant(c.variant) : k.variants.front();
+    DatapathConfig cfg = models::i4c8s4();
+    if (v.needsAbsDiff)
+        cfg.cluster.hasAbsDiff = true;
+    MachineModel machine(cfg);
+    return lowerVariant(k, v, machine);
+}
+
+void
+BM_TreeWalkUnit(benchmark::State &state, SimCase c)
+{
+    Function fn = lowerCase(c);
     MemoryImage mem(fn);
-    fms().prepare(fn, mem, FrameGeometry{48, 32}, 0);
+    kernelByName(c.kernel).prepare(fn, mem, kGeometry, 0);
     uint64_t ops = 0;
     for (auto _ : state) {
         Interpreter interp(fn);
@@ -44,7 +93,22 @@ BM_InterpreterFullSearchUnit(benchmark::State &state)
     state.counters["ops/s"] = benchmark::Counter(
         static_cast<double>(ops), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_InterpreterFullSearchUnit)->Unit(benchmark::kMillisecond);
+
+void
+BM_BytecodeUnit(benchmark::State &state, SimCase c)
+{
+    Function fn = lowerCase(c);
+    MemoryImage mem(fn);
+    kernelByName(c.kernel).prepare(fn, mem, kGeometry, 0);
+    BytecodeEngine engine(fn); // compiled once, replayed per run.
+    uint64_t ops = 0;
+    for (auto _ : state) {
+        Profile p = engine.run(mem);
+        ops += p.dynamicOps;
+    }
+    state.counters["ops/s"] = benchmark::Counter(
+        static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
 
 void
 BM_ListScheduleUnrolledRow(benchmark::State &state)
@@ -133,6 +197,205 @@ BM_CycleSimSwpFullSearchUnit(benchmark::State &state)
 }
 BENCHMARK(BM_CycleSimSwpFullSearchUnit)->Unit(benchmark::kMillisecond);
 
+bool
+profilesEqual(const Profile &a, const Profile &b)
+{
+    return a.blockExec == b.blockExec &&
+           a.loopEntries == b.loopEntries &&
+           a.loopIters == b.loopIters && a.ifThen == b.ifThen &&
+           a.ifElse == b.ifElse && a.dynamicOps == b.dynamicOps &&
+           a.nullifiedOps == b.nullifiedOps;
+}
+
+bool
+imagesEqual(const MemoryImage &a, const MemoryImage &b)
+{
+    if (a.numBuffers() != b.numBuffers())
+        return false;
+    for (size_t i = 0; i < a.numBuffers(); ++i) {
+        int id = static_cast<int>(i);
+        if (a.bufferWords(id) != b.bufferWords(id))
+            return false;
+    }
+    return true;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** ops/s of `run_once` on a prepared image, self-calibrated reps. */
+template <typename RunFn>
+double
+measureOpsPerSecond(RunFn &&run_once)
+{
+    // Calibrate the repetition count to ~0.4 s of work.
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t ops_per_run = run_once();
+    double once_s = std::max(secondsSince(t0), 1e-7);
+    int reps = std::max(1, static_cast<int>(0.4 / once_s));
+    uint64_t ops = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i)
+        ops += run_once();
+    double elapsed = std::max(secondsSince(t0), 1e-9);
+    (void)ops_per_run;
+    return static_cast<double>(ops) / elapsed;
+}
+
+struct SimMeasurement
+{
+    std::string key;
+    uint64_t dynamicOps = 0;
+    double treeOpsPerS = 0;
+    double bytecodeOpsPerS = 0;
+    double speedup = 0;
+};
+
+/**
+ * One-shot engine comparison for CI trend lines: per kernel, both
+ * engines run the same prepared unit; their Profile vectors and
+ * post-run images must be bit-identical (abort otherwise: the
+ * differential contract the property tests hold in miniature).
+ */
+int
+runJsonMode(const std::string &out_path,
+            const std::string &ledger_path)
+{
+    std::vector<SimMeasurement> rows;
+    for (const SimCase &c : kSimCases) {
+        const KernelSpec &k = kernelByName(c.kernel);
+        Function fn = lowerCase(c);
+
+        // Differential check on fresh images.
+        MemoryImage tree_mem(fn);
+        k.prepare(fn, tree_mem, kGeometry, 0);
+        MemoryImage byte_mem(fn);
+        k.prepare(fn, byte_mem, kGeometry, 0);
+        Interpreter interp(fn);
+        Profile tree_prof = interp.run(tree_mem);
+        BytecodeEngine engine(fn);
+        Profile byte_prof = engine.run(byte_mem);
+        if (!profilesEqual(tree_prof, byte_prof) ||
+            !imagesEqual(tree_mem, byte_mem)) {
+            std::fprintf(stderr,
+                         "%s: bytecode vs tree-walker mismatch\n",
+                         c.key);
+            return 1;
+        }
+
+        // Throughput on one long-lived image each (steady state).
+        SimMeasurement m;
+        m.key = c.key;
+        m.dynamicOps = tree_prof.dynamicOps;
+        m.treeOpsPerS = measureOpsPerSecond([&] {
+            Interpreter walker(fn);
+            return walker.run(tree_mem).dynamicOps;
+        });
+        m.bytecodeOpsPerS = measureOpsPerSecond(
+            [&] { return engine.run(byte_mem).dynamicOps; });
+        m.speedup = m.bytecodeOpsPerS / m.treeOpsPerS;
+        rows.push_back(std::move(m));
+    }
+
+    double log_sum = 0;
+    for (const SimMeasurement &m : rows)
+        log_sum += std::log(m.speedup);
+    double geomean =
+        std::exp(log_sum / static_cast<double>(rows.size()));
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"kernels\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const SimMeasurement &m = rows[i];
+        std::fprintf(f,
+                     "    {\"kernel\": \"%s\", \"dynamic_ops\": "
+                     "%llu, \"tree_ops_per_s\": %.0f, "
+                     "\"bytecode_ops_per_s\": %.0f, "
+                     "\"speedup\": %.3f}%s\n",
+                     m.key.c_str(),
+                     static_cast<unsigned long long>(m.dynamicOps),
+                     m.treeOpsPerS, m.bytecodeOpsPerS, m.speedup,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"geomean_speedup\": %.3f\n}\n",
+                 geomean);
+    std::fclose(f);
+    std::printf("wrote %s (geomean bytecode speedup %.2fx over %zu "
+                "kernels)\n",
+                out_path.c_str(), geomean, rows.size());
+
+    if (!ledger_path.empty()) {
+        obs::RunManifest man;
+        man.unixTime = static_cast<int64_t>(std::time(nullptr));
+        man.subcommand = "bench/sim_throughput";
+        man.threads = 1;
+        man.diskCache = false;
+        for (const SimMeasurement &m : rows) {
+            man.metrics.emplace_back(m.key + "_tree_ops_per_s",
+                                     m.treeOpsPerS);
+            man.metrics.emplace_back(m.key + "_bytecode_ops_per_s",
+                                     m.bytecodeOpsPerS);
+        }
+        man.metrics.emplace_back("geomean_speedup", geomean);
+        if (!obs::appendToLedger(ledger_path, man)) {
+            std::fprintf(stderr, "cannot append to ledger %s\n",
+                         ledger_path.c_str());
+            return 1;
+        }
+        std::printf("appended bench manifest to %s\n",
+                    ledger_path.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json_mode = false;
+    bool ledger = false;
+    std::string out = "BENCH_sim.json";
+    std::string ledger_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_mode = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                out = argv[++i];
+        } else if (std::strcmp(argv[i], "--ledger") == 0) {
+            ledger = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                ledger_path = argv[++i];
+        }
+    }
+    if (json_mode) {
+        if (ledger && ledger_path.empty())
+            ledger_path = obs::defaultLedgerPath();
+        return runJsonMode(out, ledger_path);
+    }
+    for (const SimCase &c : kSimCases) {
+        benchmark::RegisterBenchmark(
+            (std::string("BM_TreeWalkUnit/") + c.key).c_str(),
+            BM_TreeWalkUnit, c)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string("BM_BytecodeUnit/") + c.key).c_str(),
+            BM_BytecodeUnit, c)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -196,10 +196,56 @@ namespace
 {
 
 /**
+ * Value of `metric` in a manifest: a named metric first, else a
+ * distribution-summary path "<dist path>/<field>" where field is one
+ * of count/sum/min/max/p50/p90/p99 (e.g.
+ * "phase/interp_sim/wall_us/sum"). Returns -1 when the run measured
+ * neither.
+ */
+double
+manifestValueByPath(const obs::RunManifest &run,
+                    const std::string &metric)
+{
+    double v = obs::manifestMetric(run, metric, -1.0);
+    if (v >= 0)
+        return v;
+    size_t slash = metric.rfind('/');
+    if (slash == std::string::npos)
+        return -1.0;
+    std::string dist = metric.substr(0, slash);
+    std::string field = metric.substr(slash + 1);
+    for (const obs::DistSummary &d : run.distributions) {
+        if (d.path != dist)
+            continue;
+        if (field == "count")
+            return static_cast<double>(d.count);
+        if (field == "sum")
+            return static_cast<double>(d.sum);
+        if (field == "min")
+            return static_cast<double>(d.min);
+        if (field == "max")
+            return static_cast<double>(d.max);
+        if (field == "p50")
+            return d.p50;
+        if (field == "p90")
+            return d.p90;
+        if (field == "p99")
+            return d.p99;
+        return -1.0;
+    }
+    return -1.0;
+}
+
+/**
  * Floor mode: check the candidate's metrics against a perf-floor
- * JSON file (tests/perf_floor.json layout: "<metric>_floor" keys are
- * minimum acceptable values for higher-is-better metrics). Returns
- * the regressions; `error` is set when the file cannot be used.
+ * JSON file (tests/perf_floor.json layout). "<metric>_floor" keys
+ * are minimum acceptable values for higher-is-better metrics;
+ * "<metric>_ceiling" keys are maximum acceptable values for
+ * lower-is-better ones. The metric half of either key may also name
+ * a distribution-summary field recorded in the manifest, e.g.
+ * "phase/interp_sim/wall_us/sum_ceiling" bounds a phase's total wall
+ * time. Returns the regressions; `error` is set when the file cannot
+ * be used.
  */
 bool
 diffAgainstFloor(const obs::RunManifest &run,
@@ -220,20 +266,34 @@ diffAgainstFloor(const obs::RunManifest &run,
         error = "floor file is not a JSON object";
         return false;
     }
-    const std::string suffix = "_floor";
+    const std::string floor_sfx = "_floor";
+    const std::string ceil_sfx = "_ceiling";
+    auto strip = [](const std::string &key,
+                    const std::string &sfx) -> std::string {
+        if (key.size() <= sfx.size() ||
+            key.compare(key.size() - sfx.size(), sfx.size(), sfx) !=
+                0) {
+            return "";
+        }
+        return key.substr(0, key.size() - sfx.size());
+    };
     for (const auto &[key, val] : root.members()) {
-        if (!val.isNumber() || key.size() <= suffix.size() ||
-            key.compare(key.size() - suffix.size(), suffix.size(),
-                        suffix) != 0) {
+        if (!val.isNumber())
+            continue;
+        double bound = val.asNumber();
+        std::string metric = strip(key, floor_sfx);
+        if (!metric.empty()) {
+            double got = manifestValueByPath(run, metric);
+            if (got >= 0 && got < bound)
+                out.push_back({metric, bound, got});
             continue;
         }
-        std::string metric = key.substr(0, key.size() - suffix.size());
-        double floor = val.asNumber();
-        double got = obs::manifestMetric(run, metric, -1.0);
-        if (got < 0)
-            continue; // the run never measured this metric.
-        if (got < floor)
-            out.push_back({metric, floor, got});
+        metric = strip(key, ceil_sfx);
+        if (!metric.empty()) {
+            double got = manifestValueByPath(run, metric);
+            if (got >= 0 && got > bound)
+                out.push_back({metric, bound, got});
+        }
     }
     return true;
 }

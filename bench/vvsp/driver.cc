@@ -193,11 +193,18 @@ Observability::~Observability()
         // Per-phase wall-time breakdown from the "phase/<name>"
         // scopes timedPhase records (see obs/stats_registry.hh).
         // Phases nest - list_sched/modulo_sched run inside compose -
-        // so shares are of the pipeline total, not a partition.
+        // so nested phases print indented under their parent with a
+        // share of the *parent's* time; top-level shares are of the
+        // pipeline total and sum to ~100%.
         struct Row
         {
             std::string name;
             IntStat wall;
+        };
+        auto parent_of = [](const std::string &name) -> const char * {
+            if (name == "list_sched" || name == "modulo_sched")
+                return "compose";
+            return nullptr;
         };
         std::vector<Row> rows;
         uint64_t pipeline_us = 0;
@@ -213,10 +220,8 @@ Observability::~Observability()
             }
             std::string name = path.substr(
                 6, path.size() - 6 - suffix.size());
-            if (name == "lowering" || name == "interp_sim" ||
-                name == "compose") {
+            if (parent_of(name) == nullptr)
                 pipeline_us += d.second.sum();
-            }
             rows.push_back(Row{std::move(name), d.second});
         }
         std::fputs("\n== profile (per-phase wall time) ==\n", stdout);
@@ -224,24 +229,37 @@ Observability::~Observability()
             std::fputs("no phase samples recorded (cache-only run?)\n",
                        stdout);
         } else {
-            std::printf("%-14s %8s %12s %10s %7s\n", "phase", "runs",
+            auto print_row = [](const std::string &label,
+                                const IntStat &wall, uint64_t base_us,
+                                const char *share_note) {
+                std::printf(
+                    "%-16s %8llu %12.3f %10.1f %6.1f%%%s\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(wall.count()),
+                    static_cast<double>(wall.sum()) / 1000.0,
+                    wall.mean(),
+                    base_us ? 100.0 * static_cast<double>(wall.sum()) /
+                                  static_cast<double>(base_us)
+                            : 0.0,
+                    share_note);
+            };
+            std::printf("%-16s %8s %12s %10s %7s\n", "phase", "runs",
                         "total_ms", "avg_us", "share");
             for (const Row &r : rows) {
-                double total_ms =
-                    static_cast<double>(r.wall.sum()) / 1000.0;
-                std::printf(
-                    "%-14s %8llu %12.3f %10.1f %6.1f%%\n",
-                    r.name.c_str(),
-                    static_cast<unsigned long long>(r.wall.count()),
-                    total_ms, r.wall.mean(),
-                    pipeline_us
-                        ? 100.0 * static_cast<double>(r.wall.sum()) /
-                              static_cast<double>(pipeline_us)
-                        : 0.0);
+                if (parent_of(r.name) != nullptr)
+                    continue; // printed under its parent below.
+                print_row(r.name, r.wall, pipeline_us, "");
+                for (const Row &c : rows) {
+                    const char *p = parent_of(c.name);
+                    if (p == nullptr || r.name != p)
+                        continue;
+                    print_row("  " + c.name, c.wall, r.wall.sum(),
+                              " of parent");
+                }
             }
-            std::printf("pipeline total %.3f ms (lowering + "
-                        "interp_sim + compose; scheduler phases are "
-                        "inside compose)\n",
+            std::printf("pipeline total %.3f ms (top-level phases; "
+                        "indented phases nest inside their parent "
+                        "and report share-of-parent)\n",
                         static_cast<double>(pipeline_us) / 1000.0);
         }
     }

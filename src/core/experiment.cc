@@ -8,6 +8,7 @@
 #include "ir/verifier.hh"
 #include "obs/stats_registry.hh"
 #include "sched/cluster_assign.hh"
+#include "sim/bytecode.hh"
 #include "support/logging.hh"
 #include "xform/passes.hh"
 
@@ -166,6 +167,48 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
 
     AvgProfile avg(fn.numNodeIds());
     obs::timedPhase(phase, "interp_sim", [&] {
+        // The hot functional simulation runs on the bytecode engine
+        // (sim/bytecode.hh); the tree-walking Interpreter remains as
+        // the differential oracle (tests/test_bytecode.cc). With a
+        // cache, the whole phase is memoized by content: the
+        // machine-free profile key collapses repeat lowerings across
+        // models to one interpreted cell.
+        obs::StatsScope interp_stats = obs::globalScope("interp");
+        std::string profile_key;
+        uint64_t fingerprint = 0;
+        if (cache) {
+            fingerprint = functionFingerprint(fn);
+            profile_key =
+                ExperimentCache::profileKey(req, fingerprint);
+            UnitProfileEntry memo;
+            if (cache->findProfile(profile_key, memo)) {
+                interp_stats.bump("profile_memo_hits");
+                avg = std::move(memo.avg);
+                res.checked = memo.checked;
+                res.passed = memo.passed;
+                res.note = memo.note;
+                return true;
+            }
+        }
+
+        const bool timed = interp_stats.enabled();
+        auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+        std::shared_ptr<const BytecodeProgram> prog =
+            cache ? cache->programCached(fingerprint, fn)
+                  : std::make_shared<const BytecodeProgram>(fn);
+        BytecodeEngine engine(std::move(prog));
+        if (timed) {
+            auto t1 = std::chrono::steady_clock::now();
+            interp_stats.sample(
+                "compile_us",
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(t1 - t0)
+                        .count()));
+            t0 = t1;
+        }
+
         if (req.check) {
             const GoldenFn &golden = variant.goldenOverride
                                          ? variant.goldenOverride
@@ -178,9 +221,7 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
                 MemoryImage expected(fn);
                 kernel.prepare(fn, expected, req.geometry, u);
 
-                Interpreter interp(fn);
-                Profile prof = interp.run(mem);
-                avg.accumulate(prof);
+                avg.accumulate(engine.run(mem));
 
                 golden(fn, expected);
                 for (const auto &bname : kernel.outputBuffers) {
@@ -200,10 +241,27 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
             for (int u = 0; u < req.profileUnits; ++u) {
                 MemoryImage mem(fn);
                 kernel.prepare(fn, mem, req.geometry, u);
-                Interpreter interp(fn);
-                avg.accumulate(interp.run(mem));
+                avg.accumulate(engine.run(mem));
             }
             avg.scale(1.0 / req.profileUnits);
+        }
+        if (timed) {
+            interp_stats.sample(
+                "exec_us",
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()));
+        }
+
+        if (cache) {
+            UnitProfileEntry memo;
+            memo.avg = avg;
+            memo.checked = res.checked;
+            memo.passed = res.passed;
+            memo.note = res.note;
+            cache->storeProfile(profile_key, memo);
         }
         return true;
     });

@@ -6,6 +6,7 @@
 #include "arch/config_json.hh"
 #include "core/disk_cache.hh"
 #include "obs/stats_registry.hh"
+#include "sim/bytecode.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -35,6 +36,24 @@ ExperimentCache::resultKey(const ExperimentRequest &req,
     os << loweringKey(req, cfg) << '|' << req.geometry.width << 'x'
        << req.geometry.height << '|' << req.profileUnits << '|'
        << req.seed << '|' << req.check;
+    return os.str();
+}
+
+std::string
+ExperimentCache::profileKey(const ExperimentRequest &req,
+                            uint64_t fn_fingerprint)
+{
+    vvsp_assert(req.kernel && req.variant, "incomplete request");
+    // No machine component: the fingerprint of the *lowered*
+    // function already captures everything the interpreter can
+    // observe of the machine, so models whose lowerings coincide
+    // (e.g. same cluster internals, different issue width) fold to
+    // one entry.
+    std::ostringstream os;
+    os << req.kernel->name << '|' << req.variant->name << '|'
+       << std::hex << fn_fingerprint << std::dec << '|'
+       << req.geometry.width << 'x' << req.geometry.height << '|'
+       << req.profileUnits << '|' << req.seed << '|' << req.check;
     return os.str();
 }
 
@@ -142,6 +161,51 @@ ExperimentCache::storeResult(const std::string &key,
     }
 }
 
+bool
+ExperimentCache::findProfile(const std::string &key,
+                             UnitProfileEntry &out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = profiles_.find(key);
+    if (it != profiles_.end()) {
+        ++stats_.profileHits;
+        out = it->second;
+        return true;
+    }
+    ++stats_.profileMisses;
+    return false;
+}
+
+void
+ExperimentCache::storeProfile(const std::string &key,
+                              const UnitProfileEntry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    profiles_.try_emplace(key, entry);
+}
+
+std::shared_ptr<const BytecodeProgram>
+ExperimentCache::programCached(uint64_t fingerprint,
+                               const Function &fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = programs_.find(fingerprint);
+        if (it != programs_.end()) {
+            ++stats_.programHits;
+            return it->second;
+        }
+        ++stats_.programMisses;
+    }
+    // Compile outside the lock (same discipline as lowerCached):
+    // duplicate misses compile twice, first insert wins and the
+    // duplicate is dropped when its local shared_ptr dies.
+    auto prog = std::make_shared<const BytecodeProgram>(fn);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return programs_.try_emplace(fingerprint, std::move(prog))
+        .first->second;
+}
+
 void
 ExperimentCache::setDiskCache(DiskCache *disk)
 {
@@ -169,6 +233,8 @@ ExperimentCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     lowered_.clear();
     results_.clear();
+    profiles_.clear();
+    programs_.clear();
     stats_ = ExperimentCacheStats{};
 }
 

@@ -11,15 +11,23 @@
  * units, seed, and the check flag - so identical work is recognized
  * no matter which named model or harness asked for it.
  *
- * Three levels:
+ * Five levels:
  *  1. lowered-function cache: the machine-dependent lowering of a
  *     (kernel, variant, machine) triple, reused across geometries
  *     and profile depths; hits hand out a deep clone because the
  *     composer appends materialized loop control to the function;
- *  2. result cache: the complete ExperimentResult of a cell
+ *  2. bytecode-program cache: the flattened replay program of a
+ *     lowered function, keyed by content fingerprint and shared (by
+ *     shared_ptr) across cells and threads like DecodedTrace;
+ *  3. unit-profile memo: the averaged interpreter profile plus
+ *     golden-check verdict of a cell, keyed by function fingerprint
+ *     and run parameters but NOT by machine - different machines
+ *     whose lowerings coincide replay the stored profile instead of
+ *     re-interpreting;
+ *  4. result cache: the complete ExperimentResult of a cell
  *     (interpreter profile folded into the composed schedule), with
  *     only the display model name patched per request;
- *  3. optional persistent layer (see disk_cache.hh): result-cache
+ *  5. optional persistent layer (see disk_cache.hh): result-cache
  *     misses consult the disk before recomputing, and first writers
  *     publish their result for future processes.
  *
@@ -31,6 +39,7 @@
 #define VVSP_CORE_EXPERIMENT_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -40,6 +49,7 @@
 namespace vvsp
 {
 
+class BytecodeProgram;
 class DiskCache;
 
 /** Hit/miss counters (one snapshot; totals since construction). */
@@ -55,6 +65,24 @@ struct ExperimentCacheStats
     /** Disk lookups that found no usable entry. */
     uint64_t diskMisses = 0;
     uint64_t diskStores = 0;
+    /** Unit-profile memo (machine-independent interp results). */
+    uint64_t profileHits = 0;
+    uint64_t profileMisses = 0;
+    /** Compiled bytecode-program cache. */
+    uint64_t programHits = 0;
+    uint64_t programMisses = 0;
+};
+
+/**
+ * Memoized outcome of a cell's interp_sim phase: the averaged
+ * profile (post profileUnits scaling) and the golden-check verdict.
+ */
+struct UnitProfileEntry
+{
+    AvgProfile avg;
+    bool checked = false;
+    bool passed = false;
+    std::string note;
 };
 
 /** Thread-safe memo cache for lowered functions and cell results. */
@@ -78,6 +106,16 @@ class ExperimentCache
     /** Content key of a whole cell (lowering key + run parameters). */
     static std::string resultKey(const ExperimentRequest &req,
                                  const DatapathConfig &cfg);
+
+    /**
+     * Content key of a cell's interp_sim outcome: the lowered
+     * function's fingerprint (sim/bytecode.hh) plus every input the
+     * interpreter sees (kernel/variant for prepare+golden hooks,
+     * geometry, profiled units, seed, check flag). Deliberately
+     * machine-free: models whose lowerings coincide share one entry.
+     */
+    static std::string profileKey(const ExperimentRequest &req,
+                                  uint64_t fn_fingerprint);
 
     /**
      * Return a deep clone of the cached lowered function, or lower
@@ -104,6 +142,21 @@ class ExperimentCache
     void storeResult(const std::string &key,
                      const ExperimentResult &res);
 
+    /** Look up a memoized interp_sim outcome (in-memory only). */
+    bool findProfile(const std::string &key, UnitProfileEntry &out);
+
+    /** Record an interp_sim outcome (first writer wins). */
+    void storeProfile(const std::string &key,
+                      const UnitProfileEntry &entry);
+
+    /**
+     * Compiled bytecode program for `fn`, compiling and caching on
+     * first sight of the fingerprint. The returned program is
+     * immutable and shareable across threads.
+     */
+    std::shared_ptr<const BytecodeProgram>
+    programCached(uint64_t fingerprint, const Function &fn);
+
     /**
      * Attach (or, with nullptr, detach) the persistent layer. The
      * caller keeps ownership and must outlive the attachment. Not
@@ -126,6 +179,10 @@ class ExperimentCache
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Function> lowered_;
     std::unordered_map<std::string, ExperimentResult> results_;
+    std::unordered_map<std::string, UnitProfileEntry> profiles_;
+    std::unordered_map<uint64_t,
+                       std::shared_ptr<const BytecodeProgram>>
+        programs_;
     ExperimentCacheStats stats_;
     DiskCache *disk_ = nullptr;
 };

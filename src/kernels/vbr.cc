@@ -324,6 +324,18 @@ coefBlocksFor(const FrameGeometry &geom)
     Plane luma = video.lumaFrame(0);
     std::vector<std::vector<uint16_t>> blocks;
     int bw = geom.width / 8, bh = geom.height / 8;
+    // Basis values tabulated once: the transcendental calls were the
+    // dominant cost of first-use workload generation (a full CCIR-601
+    // frame is ~44M cos() evaluations). Same doubles, same summation
+    // order, so the quantized blocks are bit-identical to computing
+    // cos() inline.
+    std::array<std::array<double, 8>, 8> ct;
+    for (int u = 0; u < 8; ++u) {
+        for (int y = 0; y < 8; ++y) {
+            ct[static_cast<size_t>(u)][static_cast<size_t>(y)] =
+                std::cos((2 * y + 1) * u * M_PI / 16.0);
+        }
+    }
     for (int by = 0; by < bh; ++by) {
         for (int bx = 0; bx < bw; ++bx) {
             // Reference float DCT + uniform quantizer: produces the
@@ -337,10 +349,10 @@ coefBlocksFor(const FrameGeometry &geom)
                             double px =
                                 luma.at(bx * 8 + x, by * 8 + y) - 128;
                             acc += px *
-                                   std::cos((2 * y + 1) * u * M_PI /
-                                            16.0) *
-                                   std::cos((2 * x + 1) * v * M_PI /
-                                            16.0);
+                                   ct[static_cast<size_t>(u)]
+                                     [static_cast<size_t>(y)] *
+                                   ct[static_cast<size_t>(v)]
+                                     [static_cast<size_t>(x)];
                         }
                     }
                     double au = u == 0 ? std::sqrt(1.0 / 8) : 0.5;

@@ -7,9 +7,17 @@
  * floor is deliberately conservative - it catches the scheduler
  * falling off its fast path (accidental per-attempt allocation,
  * bitmap scans reverting to row probing), not machine noise.
+ *
+ * The timed run records a StatsRegistry, so the ledgered manifest
+ * carries per-phase wall-time distributions; when a ledger path is
+ * given, the gate then replays `vvsp diff --floor` over the fresh
+ * entry, which additionally enforces the distribution ceilings in
+ * the floor file (e.g. phase/interp_sim/wall_us/sum_ceiling - the
+ * bytecode engine's phase budget).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <chrono>
 #include <ctime>
@@ -20,6 +28,7 @@
 #include "arch/models.hh"
 #include "core/sweep.hh"
 #include "obs/run_ledger.hh"
+#include "obs/stats_registry.hh"
 
 using namespace vvsp;
 
@@ -56,7 +65,7 @@ readFloor(const char *path)
         std::fprintf(stderr, "cannot read floor file %s\n", path);
         return -1.0;
     }
-    char buf[512];
+    char buf[4096];
     size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
     std::fclose(f);
     buf[n] = '\0';
@@ -92,14 +101,19 @@ main(int argc, char **argv)
 
     // One untimed warm-up run hides one-time costs (kernel spec
     // construction, thread spin-up) that are not the regression
-    // target; the timed run is still fully cold w.r.t. caches.
+    // target; the timed run is still fully cold w.r.t. caches. The
+    // registry is installed only around the timed run, so warm-up
+    // samples never pollute the ledgered distributions.
     runner.run(grid);
 
+    obs::StatsRegistry stats;
+    obs::setGlobalStats(&stats);
     auto t0 = std::chrono::steady_clock::now();
     std::vector<ExperimentResult> results = runner.run(grid);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
+    obs::setGlobalStats(nullptr);
 
     for (const ExperimentResult &r : results) {
         if (r.checked && !r.passed) {
@@ -133,10 +147,28 @@ main(int argc, char **argv)
                                static_cast<double>(grid.size()));
         m.metrics.emplace_back("wall_s", secs);
         m.metrics.emplace_back("cells_per_s", cells_per_s);
+        obs::snapshotStats(stats, m);
         if (obs::appendToLedger(argv[2], m))
             std::printf("appended manifest to %s\n", argv[2]);
         else
             std::fprintf(stderr, "cannot append to %s\n", argv[2]);
+#ifdef VVSP_CLI_PATH
+        // Replay the sentinel over the fresh entry: this enforces the
+        // floor file's distribution ceilings (phase wall-time budgets)
+        // that the plain cells/s check above cannot see.
+        std::string diff = std::string("\"") + VVSP_CLI_PATH +
+                           "\" diff --ledger=\"" + argv[2] +
+                           "\" --floor=\"" + argv[1] + "\" --b=-1";
+        std::fflush(stdout);
+        int rc = std::system(diff.c_str());
+        if (rc != 0) {
+            std::fprintf(stderr,
+                         "FAIL: vvsp diff flagged a regression "
+                         "against %s\n",
+                         argv[1]);
+            return 1;
+        }
+#endif
     }
     if (cells_per_s < cutoff) {
         std::fprintf(stderr,
