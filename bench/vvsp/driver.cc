@@ -65,6 +65,12 @@ parseDriverArgs(int argc, char **argv, int first)
         } else if (std::strncmp(a, "--variant=", 10) == 0 &&
                    a[10] != '\0') {
             opts.variant = a + 10;
+        } else if (std::strncmp(a, "--kernel=", 9) == 0 &&
+                   a[9] != '\0') {
+            opts.kernelName = a + 9;
+        } else if (std::strncmp(a, "--out=", 6) == 0 &&
+                   a[6] != '\0') {
+            opts.outPath = a + 6;
         } else if (std::strcmp(a, "--no-cache") == 0) {
             opts.cache = false;
         } else if (std::strcmp(a, "--no-disk-cache") == 0) {
@@ -395,11 +401,14 @@ printJsonCells(const std::string &kernel_name,
                     "\"cycles_per_frame\": %.1f, "
                     "\"cycles_per_unit\": %.4f, "
                     "\"paper_cycles_per_frame\": %.1f, "
+                    "\"code_words\": %lld, \"code_bytes\": %lld, "
                     "\"passed\": %s, \"icache_ok\": %s, "
                     "\"registers_ok\": %s}%s\n",
                     jsonEscape(r.variant).c_str(),
                     jsonEscape(r.model).c_str(), r.cyclesPerFrame,
                     r.cyclesPerUnit, paper_values[i],
+                    static_cast<long long>(r.comp.codeWords),
+                    static_cast<long long>(r.comp.codeBytes),
                     r.passed ? "true" : "false",
                     r.comp.icacheOk ? "true" : "false",
                     r.comp.registersOk ? "true" : "false",
@@ -433,6 +442,7 @@ runSectionGrid(const std::string &kernel_name,
     for (const auto &m : grid.models) {
         head.push_back(m.name);
         head.push_back("paper");
+        head.push_back("code");
     }
     table.header(head);
 
@@ -451,12 +461,17 @@ runSectionGrid(const std::string &kernel_name,
             cells.push_back(cell);
             double pv = grid.paperCycles[idx];
             cells.push_back(pv > 0 ? TextTable::cycles(pv) : "-");
+            // Measured static code size (encoder ground truth), in
+            // long-instruction words.
+            cells.push_back(
+                std::to_string(r.comp.codeWords) + "w");
         }
         table.row(cells);
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("flags: ! golden mismatch, ^ hot loop exceeds icache, "
-                "* register pressure exceeds file\n\n");
+                "* register pressure exceeds file; 'code' = measured "
+                "instruction words\n\n");
 }
 
 } // namespace cli

@@ -62,6 +62,10 @@ struct DriverOptions
     std::vector<std::string> machines;
     /** --variant row filter ("" = every row). */
     std::string variant;
+    /** `asm`: --kernel=NAME pipeline-encode source ("" = file mode). */
+    std::string kernelName;
+    /** `asm`: --out=FILE binary destination ("" = stdout). */
+    std::string outPath;
     /** Subcommand positionals, e.g. a section alias. */
     std::vector<std::string> positional;
 
@@ -174,6 +178,8 @@ int cmdSweep(const DriverOptions &opts);
 int cmdExplore(const DriverOptions &opts);
 int cmdReport(const DriverOptions &opts);
 int cmdDiff(const DriverOptions &opts);
+int cmdAsm(const DriverOptions &opts);
+int cmdDisasm(const DriverOptions &opts);
 
 } // namespace cli
 } // namespace vvsp

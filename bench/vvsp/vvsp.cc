@@ -15,6 +15,8 @@
  *   vvsp explore            design-space exploration
  *   vvsp report             summarize recent run-ledger entries
  *   vvsp diff               compare two ledger entries (or a floor)
+ *   vvsp asm                assemble .s (or a kernel) to binary words
+ *   vvsp disasm             decode binary words back to assembly
  *   vvsp list               specs, sections, models, machine files
  *
  * Every subcommand accepts the uniform flag set (--json, --threads=N,
@@ -73,7 +75,8 @@ usage(FILE *out)
     std::fprintf(out,
                  "usage: vvsp <subcommand> [args] [flags]\n"
                  "subcommands: table1 table2 ablation conclusions "
-                 "utilization figs sweep explore report diff list\n"
+                 "utilization figs sweep explore report diff asm "
+                 "disasm list\n"
                  "flags: --json --threads=N --machine=NAME|FILE.json "
                  "--model=NAME --variant=NAME\n"
                  "       --no-cache --no-disk-cache --cache-dir=DIR "
@@ -84,6 +87,9 @@ usage(FILE *out)
                  "report:  --ledger[=FILE] --last=N\n"
                  "diff:    --ledger[=FILE] --a=IDX --b=IDX "
                  "--threshold=R --floor=FILE\n"
+                 "asm:     FILE.s | --kernel=NAME [--variant=NAME] "
+                 "[--machine=MODEL] [--out=FILE.bin]\n"
+                 "disasm:  FILE.bin\n"
                  "run `vvsp list` for sections and models\n");
     return out == stdout ? 0 : 2;
 }
@@ -122,6 +128,10 @@ main(int argc, char **argv)
         return cmdReport(opts);
     if (cmd == "diff")
         return cmdDiff(opts);
+    if (cmd == "asm")
+        return cmdAsm(opts);
+    if (cmd == "disasm")
+        return cmdDisasm(opts);
 
     std::fprintf(stderr, "vvsp: unknown subcommand '%s'\n",
                  cmd.c_str());

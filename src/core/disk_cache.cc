@@ -20,9 +20,14 @@ namespace vvsp
 namespace
 {
 
-/** Bumped whenever the entry layout changes; mismatches are misses. */
-constexpr int kSchemaVersion = 1;
+/** Bumped whenever the entry layout changes; mismatches are misses.
+ *  v2: measured code-size fields (CompositionResult codeWords/
+ *  codeBytes/nopSlots, RegionCost codeBytes/nopSlots). */
+constexpr int kSchemaVersion = 2;
 constexpr const char *kMagic = "vvsp-experiment-cache";
+/** Blob records (encoded ISA modules) version their own layout. */
+constexpr int kBlobVersion = 1;
+constexpr const char *kBlobMagic = "vvsp-blob";
 
 uint64_t
 fnv1a64(const std::string &s)
@@ -176,6 +181,9 @@ serialize(std::ostream &os, const std::string &key,
     putI64(os, c.icacheOk ? 1 : 0);
     putI64(os, c.registersOk ? 1 : 0);
     putF64(os, c.opsPerUnit);
+    putI64(os, c.codeWords);
+    putI64(os, c.codeBytes);
+    putI64(os, c.nopSlots);
     putI64(os, static_cast<int64_t>(c.regions.size()));
     for (const RegionCost &r : c.regions) {
         putStr(os, r.label);
@@ -185,6 +193,8 @@ serialize(std::ostream &os, const std::string &key,
         putF64(os, r.cycles);
         putI64(os, r.instructions);
         putI64(os, r.maxLive);
+        putI64(os, r.codeBytes);
+        putI64(os, r.nopSlots);
     }
     os << "end\n";
 }
@@ -225,6 +235,9 @@ deserialize(std::istream &is, const std::string &key,
     c.icacheOk = rd.b();
     c.registersOk = rd.b();
     c.opsPerUnit = rd.f64();
+    c.codeWords = rd.i64();
+    c.codeBytes = rd.i64();
+    c.nopSlots = rd.i64();
     int64_t num_regions = rd.i64();
     if (!rd.ok() || num_regions < 0 || num_regions > (1 << 20))
         return DiskLoadOutcome::Corrupt;
@@ -237,6 +250,8 @@ deserialize(std::istream &is, const std::string &key,
         r.cycles = rd.f64();
         r.instructions = static_cast<int>(rd.i64());
         r.maxLive = static_cast<int>(rd.i64());
+        r.codeBytes = rd.i64();
+        r.nopSlots = rd.i64();
     }
     if (!rd.ok() || rd.rawLine() != "end")
         return DiskLoadOutcome::Corrupt; // truncated before trailer.
@@ -367,6 +382,102 @@ DiskCache::store(const std::string &key,
         stats.sample("store_us", usSince(t0));
     }
     return true;
+}
+
+std::string
+DiskCache::blobPath(const std::string &kind,
+                    const std::string &key) const
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(kind + "\n" + key)));
+    return dir_ + "/" + buf + ".blob";
+}
+
+bool
+DiskCache::storeBlob(const std::string &kind, const std::string &key,
+                     const std::vector<uint8_t> &bytes) const
+{
+    obs::StatsScope stats = obs::globalScope("disk_cache");
+    std::ostringstream body;
+    body << kBlobMagic << ' ' << kBlobVersion << ' ' << kind << '\n';
+    putStr(body, key);
+    putI64(body, static_cast<int64_t>(bytes.size()));
+    body.write(reinterpret_cast<const char *>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    body << "\nend\n";
+
+    static std::atomic<uint64_t> seq{0};
+    std::string final_path = blobPath(kind, key);
+    std::string tmp_path = final_path + ".tmp." +
+                           std::to_string(::getpid()) + "." +
+                           std::to_string(seq.fetch_add(1));
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            stats.bump("blob_store_fail");
+            return false;
+        }
+        os << body.str();
+        os.flush();
+        if (!os) {
+            std::remove(tmp_path.c_str());
+            stats.bump("blob_store_fail");
+            return false;
+        }
+    }
+    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        stats.bump("blob_store_fail");
+        return false;
+    }
+    stats.bump("blob_store");
+    return true;
+}
+
+DiskLoadOutcome
+DiskCache::loadBlob(const std::string &kind, const std::string &key,
+                    std::vector<uint8_t> &out) const
+{
+    obs::StatsScope stats = obs::globalScope("disk_cache");
+    DiskLoadOutcome outcome = [&] {
+        std::ifstream is(blobPath(kind, key), std::ios::binary);
+        if (!is)
+            return DiskLoadOutcome::Miss;
+        Reader rd(is);
+        std::istringstream header(rd.rawLine());
+        std::string magic, stored_kind;
+        int version = -1;
+        header >> magic >> version >> stored_kind;
+        if (!rd.ok() || magic != kBlobMagic ||
+            version != kBlobVersion)
+            return DiskLoadOutcome::Corrupt;
+        std::string stored_key = rd.str();
+        if (!rd.ok())
+            return DiskLoadOutcome::Corrupt;
+        if (stored_kind != kind || stored_key != key)
+            return DiskLoadOutcome::Collision;
+        int64_t size = rd.i64();
+        if (!rd.ok() || size < 0 || size > (1 << 28))
+            return DiskLoadOutcome::Corrupt;
+        std::vector<uint8_t> bytes(static_cast<size_t>(size));
+        is.read(reinterpret_cast<char *>(bytes.data()),
+                static_cast<std::streamsize>(size));
+        if (!is)
+            return DiskLoadOutcome::Corrupt;
+        char nl = 0;
+        is.get(nl);
+        if (!is || nl != '\n')
+            return DiskLoadOutcome::Corrupt;
+        Reader trailer(is);
+        if (trailer.rawLine() != "end")
+            return DiskLoadOutcome::Corrupt;
+        out = std::move(bytes);
+        return DiskLoadOutcome::Hit;
+    }();
+    stats.bump(std::string("blob_") + outcomeName(outcome));
+    return outcome;
 }
 
 std::string

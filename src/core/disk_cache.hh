@@ -27,7 +27,9 @@
 #ifndef VVSP_CORE_DISK_CACHE_HH
 #define VVSP_CORE_DISK_CACHE_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/experiment.hh"
 
@@ -75,10 +77,32 @@ class DiskCache
     bool store(const std::string &key,
                const ExperimentResult &res) const;
 
+    /**
+     * Atomically publish a raw binary blob under a (kind, key) pair
+     * — a second record namespace beside the result entries, used
+     * for encoded ISA modules. Same discipline as store(): unique
+     * temp file, atomic rename, failures non-fatal.
+     */
+    bool storeBlob(const std::string &kind, const std::string &key,
+                   const std::vector<uint8_t> &bytes) const;
+
+    /**
+     * Load a blob. Truncated, version-mismatched, or key-collided
+     * blob files classify as Corrupt/Collision and leave `out`
+     * untouched — callers fall back to recomputation.
+     */
+    DiskLoadOutcome loadBlob(const std::string &kind,
+                             const std::string &key,
+                             std::vector<uint8_t> &out) const;
+
     const std::string &dir() const { return dir_; }
 
     /** Path of the entry file a key maps to (for tests/tools). */
     std::string entryPath(const std::string &key) const;
+
+    /** Path of the blob file a (kind, key) maps to. */
+    std::string blobPath(const std::string &kind,
+                         const std::string &key) const;
 
     /**
      * Default directory: $VVSP_CACHE_DIR, else $XDG_CACHE_HOME/vvsp,

@@ -6,6 +6,7 @@
 #include "arch/models.hh"
 #include "core/experiment_cache.hh"
 #include "ir/verifier.hh"
+#include "isa/encoder.hh"
 #include "obs/stats_registry.hh"
 #include "sched/cluster_assign.hh"
 #include "sim/bytecode.hh"
@@ -268,7 +269,21 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
 
     Composer composer(machine, variant.mode);
     res.comp = obs::timedPhase(phase, "compose", [&] {
-        return composer.compose(fn, avg);
+        if (!cache)
+            return composer.compose(fn, avg);
+        // Schedule-module layer: a hit hands the composer the encoded
+        // module so matching groups rehydrate their schedules instead
+        // of rescheduling; a miss captures the freshly encoded module
+        // and publishes it (memory + disk blob) for future cells.
+        std::string sched_key =
+            ExperimentCache::scheduleKey(req, cfg);
+        if (auto module = cache->findScheduleModule(sched_key))
+            return composer.compose(fn, avg, module.get());
+        IsaModule emitted;
+        CompositionResult comp =
+            composer.compose(fn, avg, nullptr, &emitted);
+        cache->storeScheduleModule(sched_key, std::move(emitted));
+        return comp;
     });
     res.cyclesPerUnit = res.comp.cyclesPerUnit;
 

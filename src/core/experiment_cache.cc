@@ -5,6 +5,8 @@
 
 #include "arch/config_json.hh"
 #include "core/disk_cache.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoder.hh"
 #include "obs/stats_registry.hh"
 #include "sim/bytecode.hh"
 #include "support/logging.hh"
@@ -36,6 +38,20 @@ ExperimentCache::resultKey(const ExperimentRequest &req,
     os << loweringKey(req, cfg) << '|' << req.geometry.width << 'x'
        << req.geometry.height << '|' << req.profileUnits << '|'
        << req.seed << '|' << req.check;
+    return os.str();
+}
+
+std::string
+ExperimentCache::scheduleKey(const ExperimentRequest &req,
+                             const DatapathConfig &cfg)
+{
+    // Like resultKey but without the check flag: golden verification
+    // never changes which groups form or how they schedule, so
+    // checked and unchecked runs of a cell share one encoded module.
+    std::ostringstream os;
+    os << loweringKey(req, cfg) << '|' << req.geometry.width << 'x'
+       << req.geometry.height << '|' << req.profileUnits << '|'
+       << req.seed;
     return os.str();
 }
 
@@ -206,6 +222,67 @@ ExperimentCache::programCached(uint64_t fingerprint,
         .first->second;
 }
 
+std::shared_ptr<const IsaModule>
+ExperimentCache::findScheduleModule(const std::string &key)
+{
+    DiskCache *disk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = modules_.find(key);
+        if (it != modules_.end()) {
+            ++stats_.moduleHits;
+            return it->second;
+        }
+        disk = disk_;
+        if (!disk) {
+            ++stats_.moduleMisses;
+            return nullptr;
+        }
+    }
+    // Disk I/O and decode outside the lock, same discipline as
+    // findResult: duplicate reads of the same blob are harmless.
+    std::vector<uint8_t> bytes;
+    if (disk->loadBlob("isa-module", key, bytes) ==
+        DiskLoadOutcome::Hit) {
+        IsaModule module;
+        std::string error;
+        if (decodeModule(bytes, module, &error)) {
+            auto shared = std::make_shared<const IsaModule>(
+                std::move(module));
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.moduleHits;
+            return modules_.try_emplace(key, std::move(shared))
+                .first->second;
+        }
+        // A blob that passed the container checks but fails the ISA
+        // decoder (e.g. written by a build with different opcode
+        // numbering) is as good as absent; fall through to the miss.
+        (void)error;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.moduleMisses;
+    return nullptr;
+}
+
+std::shared_ptr<const IsaModule>
+ExperimentCache::storeScheduleModule(const std::string &key,
+                                     IsaModule module)
+{
+    auto shared = std::make_shared<const IsaModule>(std::move(module));
+    DiskCache *disk = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = modules_.try_emplace(key, shared);
+        if (!inserted)
+            return it->second;
+        disk = disk_;
+    }
+    // First writer publishes the binary image outside the lock.
+    if (disk)
+        disk->storeBlob("isa-module", key, encodeModule(*shared));
+    return shared;
+}
+
 void
 ExperimentCache::setDiskCache(DiskCache *disk)
 {
@@ -235,6 +312,7 @@ ExperimentCache::clear()
     results_.clear();
     profiles_.clear();
     programs_.clear();
+    modules_.clear();
     stats_ = ExperimentCacheStats{};
 }
 

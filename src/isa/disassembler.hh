@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Decoding the ISA: binary images and textual assembly back into
+ * IsaModules.
+ *
+ * decodeModule is the strict inverse of encodeModule: every field is
+ * validated (magic, version, opcode range, operand descriptors,
+ * program-order permutation, the per-section semantic hash, and the
+ * padding), a truncated or corrupt image fails with a diagnostic
+ * naming the section, word, and slot rather than crashing, and
+ * re-encoding the decoded module is byte-identical.
+ *
+ * parseAsm accepts the canonical text printAsm emits (and reasonable
+ * hand-written variants): slot legality is checked against the
+ * resolved machine, immediates against the 16-bit field, and every
+ * diagnostic carries the line plus word/slot context.
+ */
+
+#ifndef VVSP_ISA_DISASSEMBLER_HH
+#define VVSP_ISA_DISASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/encoder.hh"
+
+namespace vvsp
+{
+
+/**
+ * Decode a binary module image. Returns false and fills `error`
+ * (word/slot context included) on truncation or corruption.
+ */
+bool decodeModule(const std::vector<uint8_t> &bytes, IsaModule &out,
+                  std::string *error);
+
+/**
+ * Parse textual assembly. The `.machine` directive is resolved
+ * through the model registry (suffix grammar included) unless
+ * `machine_override` supplies the datapath — the `vvsp asm
+ * --machine=file.json` path. Returns false and fills `error` with a
+ * line-numbered diagnostic on any syntax, range, or slot-capability
+ * violation.
+ */
+bool parseAsm(const std::string &text, IsaModule &out,
+              std::string *error,
+              const DatapathConfig *machine_override = nullptr);
+
+} // namespace vvsp
+
+#endif // VVSP_ISA_DISASSEMBLER_HH

@@ -145,8 +145,16 @@ struct Composer::Walker
     const AvgProfile &prof;
     ListScheduler lsched;
     ModuloScheduler msched;
+    BankOfFn bankOf;
     obs::StatsScope phase = obs::globalScope("phase");
+    obs::StatsScope isaStats = obs::globalScope("isa");
     CompositionResult result;
+
+    /** Encoded-schedule source/sink (see Composer::compose). */
+    const IsaModule *rehydrate = nullptr;
+    IsaModule *emit = nullptr;
+    IsaFormat fmt;
+    size_t sectionIdx = 0;
 
     std::vector<Operation> pending;
     double pendingCount = 0;
@@ -155,8 +163,66 @@ struct Composer::Walker
     Walker(Function &f, const MachineModel &m, ScheduleMode md,
            const AvgProfile &p, BankOfFn bank_of)
         : fn(f), machine(m), mode(md), prof(p),
-          lsched(m, bank_of), msched(m, bank_of)
+          lsched(m, bank_of), msched(m, bank_of),
+          bankOf(std::move(bank_of)),
+          fmt(isaFormatFor(m.config()))
     {
+    }
+
+    /**
+     * Schedule header + measured code size of the current group.
+     * The schedule carries placements only on the cold path; a
+     * rehydrated group reconstructs the header fields (length, ii,
+     * stages, maxLive, instructions) from the cached section and
+     * never runs the scheduler.
+     */
+    struct SectionOutcome
+    {
+        BlockSchedule sched;
+        SectionStats stats;
+    };
+
+    SectionOutcome
+    encodeOrRehydrate(const std::string &label,
+                      const std::vector<Operation> &ops, bool width1,
+                      const char *phase_name,
+                      const std::function<BlockSchedule()> &schedule)
+    {
+        SectionOutcome out;
+        const IsaSection *cached = nullptr;
+        if (rehydrate && sectionIdx < rehydrate->sections.size()) {
+            const IsaSection &c = rehydrate->sections[sectionIdx];
+            if (c.ops.size() == ops.size() &&
+                c.opsHash == isaOpsHash(ops))
+                cached = &c;
+        }
+        ++sectionIdx;
+        if (cached) {
+            out.sched.length = cached->length;
+            out.sched.ii = cached->ii;
+            out.sched.stages = cached->stages;
+            out.sched.maxLive = cached->maxLive;
+            out.sched.instructions = cached->words();
+            out.stats = sectionStats(*cached, fmt);
+            isaStats.bump("sections_rehydrated");
+            if (emit)
+                emit->sections.push_back(*cached);
+        } else {
+            out.sched = obs::timedPhase(phase, phase_name, schedule);
+            IsaSection sec = buildSection(label, ops, out.sched,
+                                          width1, machine, bankOf);
+            out.stats = sectionStats(sec, fmt);
+            if (emit)
+                emit->sections.push_back(std::move(sec));
+        }
+        isaStats.bump("sections");
+        isaStats.bump("words",
+                      static_cast<uint64_t>(out.stats.words));
+        isaStats.bump("bytes",
+                      static_cast<uint64_t>(out.stats.bytes));
+        isaStats.bump("nop_slots",
+                      static_cast<uint64_t>(out.stats.nopSlots));
+        return out;
     }
 
     void
@@ -164,17 +230,19 @@ struct Composer::Walker
     {
         if (pending.empty())
             return;
-        BlockSchedule sched = obs::timedPhase(phase, "list_sched", [&] {
-            return lsched.schedule(pending,
-                                   mode == ScheduleMode::Sequential);
-        });
+        bool width1 = mode == ScheduleMode::Sequential;
+        SectionOutcome enc = encodeOrRehydrate(
+            pendingLabel, pending, width1, "list_sched",
+            [&] { return lsched.schedule(pending, width1); });
         RegionCost rc;
         rc.label = pendingLabel;
         rc.execCount = pendingCount;
-        rc.length = sched.length;
-        rc.cycles = sched.length * pendingCount;
-        rc.instructions = sched.instructions;
-        rc.maxLive = sched.maxLive;
+        rc.length = enc.sched.length;
+        rc.cycles = enc.sched.length * pendingCount;
+        rc.instructions = static_cast<int>(enc.stats.words);
+        rc.maxLive = enc.sched.maxLive;
+        rc.codeBytes = enc.stats.bytes;
+        rc.nopSlots = enc.stats.nopSlots;
         record(rc, pending.size());
         pending.clear();
         pendingCount = 0;
@@ -189,6 +257,9 @@ struct Composer::Walker
         result.maxLive = std::max(result.maxLive, rc.maxLive);
         result.opsPerUnit +=
             static_cast<double>(num_ops) * rc.execCount;
+        result.codeWords += rc.instructions;
+        result.codeBytes += rc.codeBytes;
+        result.nopSlots += rc.nopSlots;
         result.regions.push_back(rc);
     }
 
@@ -234,11 +305,13 @@ struct Composer::Walker
             }
             auto ctrl = loopControlOps(fn, loop);
             ops.insert(ops.end(), ctrl.begin(), ctrl.end());
-            BlockSchedule sched =
-                obs::timedPhase(phase, "modulo_sched", [&] {
+            SectionOutcome enc = encodeOrRehydrate(
+                "swp:" + loop.label, ops, false, "modulo_sched",
+                [&] {
                     return msched.schedule(
                         ops, machine.registersPerCluster());
                 });
+            const BlockSchedule &sched = enc.sched;
             obs::StatsScope swp = obs::globalScope("sched/swp");
             if (swp.enabled()) {
                 // Achieved II against both lower bounds, so reports
@@ -264,8 +337,10 @@ struct Composer::Walker
             rc.cycles = entries * (sched.prologueCycles() +
                                    sched.epilogueCycles()) +
                         iters * sched.ii;
-            rc.instructions = sched.instructions;
+            rc.instructions = static_cast<int>(enc.stats.words);
             rc.maxLive = sched.maxLive;
+            rc.codeBytes = enc.stats.bytes;
+            rc.nopSlots = enc.stats.nopSlots;
             record(rc, ops.size());
         } else {
             walkList(loop.body);
@@ -333,12 +408,21 @@ Composer::Composer(const MachineModel &machine, ScheduleMode mode)
 }
 
 CompositionResult
-Composer::compose(Function &fn, const AvgProfile &profile)
+Composer::compose(Function &fn, const AvgProfile &profile,
+                  const IsaModule *rehydrate, IsaModule *emit)
 {
     BankOfFn bank_of = [&fn](int buffer) {
         return fn.buffer(buffer).bank;
     };
     Walker walker(fn, machine_, mode_, profile, bank_of);
+    walker.rehydrate = rehydrate;
+    walker.emit = emit;
+    if (emit) {
+        emit->machine = machine_.name();
+        emit->name = fn.name;
+        emit->fmt = walker.fmt;
+        emit->sections.clear();
+    }
     walker.walkList(fn.body);
     walker.flush();
     walker.result.registersOk =

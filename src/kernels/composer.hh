@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "arch/machine_model.hh"
+#include "isa/encoder.hh"
 #include "kernels/kernel.hh"
 #include "sim/interpreter.hh"
 
@@ -54,8 +55,10 @@ struct RegionCost
     int length = 0;        ///< cycles per execution (acyclic).
     int ii = 0;            ///< initiation interval (modulo groups).
     double cycles = 0;     ///< total contribution per unit.
-    int instructions = 0;  ///< static code size.
+    int instructions = 0;  ///< static code size (encoded words).
     int maxLive = 0;
+    int64_t codeBytes = 0; ///< encoded payload bytes.
+    int64_t nopSlots = 0;  ///< empty issue slots across the words.
 };
 
 /** Composition output. */
@@ -68,6 +71,10 @@ struct CompositionResult
     bool icacheOk = true;
     bool registersOk = true;
     double opsPerUnit = 0;       ///< dynamic operations (for GOPS).
+    /** Measured code size from the ISA encoder (not an estimate). */
+    int64_t codeWords = 0;
+    int64_t codeBytes = 0;
+    int64_t nopSlots = 0;
     std::vector<RegionCost> regions;
 
     std::string str() const;
@@ -94,8 +101,20 @@ class Composer
      * Compose the cost of one kernel unit. The function may gain
      * fresh vregs/ops (materialized loop control); the tree itself
      * is not restructured.
+     *
+     * Every scheduled group is also run through the ISA encoder:
+     * RegionCost::instructions and the code-size totals come from
+     * the encoder's actual word count (asserted equal to the
+     * scheduler's estimate). When `rehydrate` carries a previously
+     * encoded module whose sections match the groups this walk
+     * produces (checked per section by op count + semantic hash),
+     * matching groups skip scheduling entirely and take their
+     * headers from the module; mismatches fall back to scheduling.
+     * When `emit` is non-null it receives the encoded module.
      */
-    CompositionResult compose(Function &fn, const AvgProfile &profile);
+    CompositionResult compose(Function &fn, const AvgProfile &profile,
+                              const IsaModule *rehydrate = nullptr,
+                              IsaModule *emit = nullptr);
 
   private:
     struct Walker;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "ir/dependence_graph.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoder.hh"
 #include "kernels/composer.hh"
 #include "obs/sim_telemetry.hh"
 #include "obs/stats_registry.hh"
@@ -68,6 +70,9 @@ struct CycleSim::Engine
 
     /** Decode/sort counters (null-sink scope when stats are off). */
     obs::StatsScope simStats;
+
+    /** Execute decoded-from-binary code (CycleSim::setIsaRoundTrip). */
+    bool isaRoundTrip = false;
 
     /** Telemetry sink; null when the run is uninstrumented. */
     obs::GroupTelemetry *telem = nullptr;
@@ -182,6 +187,59 @@ struct CycleSim::Engine
         }
     }
 
+    /**
+     * Round-trip one scheduled group through the ISA: encode it as a
+     * one-section module of binary instruction words, decode the
+     * bytes back, and assert the re-encode is byte-identical. The
+     * returned section holds the DECODED operations (program order,
+     * placements recovered from the words), so traces built from it
+     * provably execute the code in the instruction words.
+     */
+    IsaSection
+    roundTripSection(const std::string &label,
+                     const std::vector<Operation> &ops,
+                     const BlockSchedule &sched, bool width1)
+    {
+        IsaModule module;
+        module.machine = machine.name();
+        module.name = fn.name;
+        module.fmt = isaFormatFor(machine.config());
+        module.sections.push_back(
+            buildSection(label, ops, sched, width1, machine, bankOf));
+        std::vector<uint8_t> bytes = encodeModule(module);
+        IsaModule decoded;
+        std::string error;
+        vvsp_assert(decodeModule(bytes, decoded, &error),
+                    "isa round-trip decode failed for '%s': %s",
+                    label.c_str(), error.c_str());
+        vvsp_assert(encodeModule(decoded) == bytes,
+                    "isa round-trip re-encode of '%s' is not "
+                    "byte-identical",
+                    label.c_str());
+        simStats.bump("isa_roundtrips");
+        return std::move(decoded.sections.front());
+    }
+
+    /**
+     * Acyclic placements recovered from a decoded section, shaped as
+     * the BlockSchedule a DecodedTrace needs for issue ordering.
+     */
+    static BlockSchedule
+    scheduleFromSection(const IsaSection &sec)
+    {
+        BlockSchedule sched;
+        sched.length = sec.length;
+        sched.ii = sec.modulo ? sec.ii : 0;
+        sched.stages = sec.stages;
+        sched.maxLive = sec.maxLive;
+        sched.instructions = sec.words();
+        sched.placed.reserve(sec.placed.size());
+        for (const auto &p : sec.placed)
+            sched.placed.push_back(
+                PlacedOp{p.cycle, p.cluster, p.slot});
+        return sched;
+    }
+
     /** Execute an acyclic group: schedule (cached), verify, run. */
     void
     flush()
@@ -204,7 +262,16 @@ struct CycleSim::Engine
             // The one and only issue-order sort for this group; every
             // later execution replays the decoded trace.
             simStats.bump("acyclic_group_sorts");
-            DecodedTrace decoded(pending, &sched);
+            DecodedTrace decoded;
+            if (isaRoundTrip) {
+                IsaSection sec = roundTripSection(
+                    "group@op" + std::to_string(key.first), pending,
+                    sched, width1);
+                BlockSchedule rsched = scheduleFromSection(sec);
+                decoded = DecodedTrace(sec.ops, &rsched);
+            } else {
+                decoded = DecodedTrace(pending, &sched);
+            }
             it = acyclicCache
                      .emplace(key, CachedGroup{std::move(sched),
                                                std::move(decoded)})
@@ -296,7 +363,14 @@ struct CycleSim::Engine
             // Trip bodies execute in program order (iteration
             // overlap is accounted analytically), so decode without
             // the schedule's issue order.
-            DecodedTrace decoded(ops, nullptr);
+            DecodedTrace decoded;
+            if (isaRoundTrip) {
+                IsaSection sec = roundTripSection(
+                    "swp:" + loop.label, ops, sched, false);
+                decoded = DecodedTrace(sec.ops, nullptr);
+            } else {
+                decoded = DecodedTrace(ops, nullptr);
+            }
             mit = moduloCache
                       .emplace(loop.id, CachedGroup{std::move(sched),
                                                     std::move(decoded)})
@@ -438,6 +512,7 @@ CycleSim::run(Function &fn, MemoryImage &mem,
         return fn.buffer(buffer).bank;
     };
     Engine engine(fn, machine_, mode_, mem, bank_of);
+    engine.isaRoundTrip = isaRoundTrip_;
     engine.telem = telemetry;
     if (trace_) {
         engine.trace = trace_;

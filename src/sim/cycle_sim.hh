@@ -94,6 +94,17 @@ class CycleSim
     /** First unused trace process id after the runs so far. */
     int nextTracePid() const { return nextTracePid_; }
 
+    /**
+     * When enabled, every group entering a schedule cache is first
+     * round-tripped through the ISA: packed into binary instruction
+     * words (isa/encoder.hh), decoded back, re-encode asserted
+     * byte-identical, and the executed micro-op trace is built from
+     * the DECODED operations - so the run exercises the encoded
+     * program, not the in-memory schedule. The report and memory
+     * image must be bit-identical either way; the tests enforce it.
+     */
+    void setIsaRoundTrip(bool on) { isaRoundTrip_ = on; }
+
   private:
     struct Engine;
 
@@ -102,6 +113,7 @@ class CycleSim
     obs::TraceWriter *trace_ = nullptr;
     int nextTracePid_ = 0;
     std::string traceLabel_;
+    bool isaRoundTrip_ = false;
 };
 
 } // namespace vvsp

@@ -5,6 +5,25 @@
 namespace vvsp
 {
 
+uint32_t
+BitReader::get(int bits)
+{
+    vvsp_assert(bits >= 0 && bits <= 32, "bad bit count %d", bits);
+    uint32_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+        if (bit_pos_ >= static_cast<uint64_t>(size_) * 8) {
+            overflow_ = true;
+            value <<= 1;
+            continue;
+        }
+        size_t byte = static_cast<size_t>(bit_pos_ >> 3);
+        int shift = 7 - static_cast<int>(bit_pos_ & 7);
+        value = (value << 1) | ((data_[byte] >> shift) & 1u);
+        ++bit_pos_;
+    }
+    return value;
+}
+
 void
 BitWriter::put(uint32_t value, int bits)
 {

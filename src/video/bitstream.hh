@@ -7,11 +7,50 @@
 #ifndef VVSP_VIDEO_BITSTREAM_HH
 #define VVSP_VIDEO_BITSTREAM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace vvsp
 {
+
+/**
+ * MSB-first bit extractor over a byte buffer; the read-side pair of
+ * BitWriter (a writer's 16-bit words serialized big-endian decode
+ * back bit-for-bit). Reading past the end yields zero bits and
+ * latches an overflow flag instead of crashing, so decoders can
+ * finish a field, then report truncation with context.
+ */
+class BitReader
+{
+  public:
+    BitReader(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    /** Extract the next `bits` bits, MSB first (0 on overflow). */
+    uint32_t get(int bits);
+
+    /** False once any read has run past the end of the buffer. */
+    bool ok() const { return !overflow_; }
+
+    /** Bits consumed so far. */
+    uint64_t bitPos() const { return bit_pos_; }
+
+    /** Bits remaining before overflow. */
+    uint64_t bitsLeft() const
+    {
+        uint64_t total = static_cast<uint64_t>(size_) * 8;
+        return bit_pos_ >= total ? 0 : total - bit_pos_;
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    uint64_t bit_pos_ = 0;
+    bool overflow_ = false;
+};
 
 /** MSB-first bit accumulator producing 16-bit output words. */
 class BitWriter

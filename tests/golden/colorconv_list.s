@@ -1,0 +1,205 @@
+.module "csc.quad"
+.machine I4C8S4
+.format clusters=8 slots=4 opcode_bits=6 reg_bits=7 imm_bits=16 cluster_bits=3
+
+.section "" kind=acyclic length=2 maxlive=2 opshash=0x591f9b39d5ff6acb
+.w 0
+  c0.s1: shl v1, v0, #5 @0
+.w 1
+  c0.s1: shl v67, v0, #3 @1
+
+.section "" kind=acyclic length=44 maxlive=32 opshash=0xc4d4607b4134892e
+.w 0
+  c0.s1: shl v3, v2, #1 @0
+  c0.s3: add v68, v67, v2 @135
+.w 1
+  c0.s0: add v2, v2, #1 @138
+  c0.s3: add v4, v1, v3 @1
+.w 2
+  c0.s0: add v143, v4, #16 @46
+  c0.s1: add v147, v4, #17 @70
+  c0.s2: load v5, v4, #0 b=0 @2
+  c0.s3: add v139, v4, #1 @22
+.w 3
+  c0.s0: cmpne v151, v2, #8 @139
+  c0.s1: sra v70, v5, #8 @6
+  c0.s2: load v6, v4, #0 b=1 @3
+  c0.s3: and v69, v5, #255 @5
+.w 4
+  c0.s0: mul8 v72, v70, #33 @8
+  c0.s1: shl v9, v6, #6 @11
+  c0.s2: load v14, v139, _ b=0 @23
+.w 5
+  c0.s0: mulu8 v71, v69, #33 @7
+  c0.s1: sra v80, v14, #8 @27
+  c0.s2: load v15, v139, _ b=1 @24
+  c0.s3: add v23, v5, v14 @43
+.w 6
+  c0.s0: and v79, v14, #255 @26
+  c0.s1: shl v73, v72, #8 @9
+  c0.s2: load v7, v4, #0 b=2 @4
+  c0.s3: add v24, v6, v15 @44
+.w 7
+  c0.s0: mul8 v82, v80, #33 @29
+  c0.s1: sra v75, v7, #8 @13
+  c0.s2: load v16, v139, _ b=2 @25
+  c0.s3: and v74, v7, #255 @12
+.w 8
+  c0.s0: mul8 v77, v75, #12 @15
+  c0.s1: sra v85, v16, #8 @34
+  c0.s2: load v26, v143, _ b=0 @47
+  c0.s3: add v25, v7, v16 @45
+.w 9
+  c0.s0: add v8, v71, v73 @10
+  c0.s1: sra v90, v26, #8 @51
+  c0.s2: load v27, v143, _ b=1 @48
+  c0.s3: add v35, v23, v26 @67
+.w 10
+  c0.s0: mulu8 v76, v74, #12 @14
+  c0.s1: shl v78, v77, #8 @16
+  c0.s2: load v28, v143, _ b=2 @49
+  c0.s3: add v36, v24, v27 @68
+.w 11
+  c0.s0: mulu8 v81, v79, #33 @28
+  c0.s1: shl v83, v82, #8 @30
+  c0.s2: load v38, v147, _ b=0 @71
+  c0.s3: add v37, v25, v28 @69
+.w 12
+  c0.s0: and v84, v16, #255 @33
+  c0.s1: and v89, v26, #255 @50
+  c0.s2: load v39, v147, _ b=1 @72
+  c0.s3: add v47, v35, v38 @91
+.w 13
+  c0.s0: mul8 v87, v85, #12 @36
+  c0.s1: sra v50, v47, #2 @94
+  c0.s2: load v40, v147, _ b=2 @73
+  c0.s3: add v48, v36, v39 @92
+.w 14
+  c0.s0: mul8 v92, v90, #33 @53
+  c0.s1: sra v51, v48, #2 @95
+  c0.s2: and v109, v50, #255 @97
+  c0.s3: add v49, v37, v40 @93
+.w 15
+  c0.s0: add v10, v76, v78 @17
+  c0.s1: sra v52, v49, #2 @96
+  c0.s2: add v11, v8, v9 @18
+  c0.s3: and v114, v51, #255 @103
+.w 16
+  c0.s0: mulu8 v86, v84, #12 @35
+  c0.s1: sra v110, v50, #8 @98
+  c0.s2: and v94, v28, #255 @57
+  c0.s3: add v17, v81, v83 @31
+.w 17
+  c0.s0: mul8 v112, v110, #-19 @100
+  c0.s1: sra v115, v51, #8 @104
+  c0.s2: and v119, v52, #255 @109
+  c0.s3: and v99, v38, #255 @74
+.w 18
+  c0.s0: mul8 v117, v115, #-37 @106
+  c0.s1: sra v95, v28, #8 @58
+  c0.s2: and v104, v40, #255 @81
+  c0.s3: add v12, v11, v10 @19
+.w 19
+  c0.s0: mul8 v127, v110, #56 @120
+  c0.s1: sra v100, v38, #8 @75
+.w 20
+  c0.s0: mul8 v132, v115, #-47 @124
+  c0.s1: sra v120, v52, #8 @110
+.w 21
+  c0.s0: mulu8 v91, v89, #33 @52
+  c0.s1: shl v18, v15, #6 @32
+.w 22
+  c0.s0: mul8 v97, v95, #12 @60
+  c0.s1: shl v88, v87, #8 @37
+  c0.s3: add v20, v17, v18 @39
+.w 23
+  c0.s0: mul8 v102, v100, #33 @77
+  c0.s1: shl v93, v92, #8 @54
+  c0.s3: add v19, v86, v88 @38
+.w 24
+  c0.s0: mulu8 v111, v109, #-19 @99
+  c0.s1: sra v105, v40, #8 @82
+  c0.s2: add v21, v20, v19 @40
+  c0.s3: add v29, v91, v93 @55
+.w 25
+  c0.s0: mulu8 v116, v114, #-37 @105
+  c0.s1: shl v113, v112, #8 @101
+.w 26
+  c0.s0: mul8 v122, v120, #56 @112
+  c0.s1: shl v118, v117, #8 @107
+  c0.s3: add v53, v111, v113 @102
+.w 27
+  c0.s0: mulu8 v126, v109, #56 @119
+  c0.s1: shl v128, v127, #8 @121
+  c0.s3: add v54, v116, v118 @108
+.w 28
+  c0.s0: mulu8 v131, v114, #-47 @123
+  c0.s1: shl v133, v132, #8 @125
+  c0.s2: add v56, v53, v54 @115
+  c0.s3: add v60, v126, v128 @122
+.w 29
+  c0.s0: mul8 v137, v120, #-9 @128
+  c0.s1: shl v30, v27, #6 @56
+  c0.s3: add v61, v131, v133 @126
+.w 30
+  c0.s0: mulu8 v96, v94, #12 @59
+  c0.s1: shl v98, v97, #8 @61
+  c0.s2: add v63, v60, v61 @131
+  c0.s3: add v32, v29, v30 @63
+.w 31
+  c0.s0: mulu8 v101, v99, #33 @76
+  c0.s1: shl v103, v102, #8 @78
+  c0.s3: add v31, v96, v98 @62
+.w 32
+  c0.s0: mul8 v107, v105, #12 @84
+  c0.s1: shl v123, v122, #8 @113
+  c0.s2: add v33, v32, v31 @64
+  c0.s3: add v41, v101, v103 @79
+.w 33
+  c0.s0: mulu8 v121, v119, #56 @111
+  c0.s1: shl v138, v137, #8 @129
+.w 34
+  c0.s0: mulu8 v136, v119, #-9 @127
+  c0.s1: sra v13, v12, #7 @20
+  c0.s3: add v55, v121, v123 @114
+.w 35
+  c0.s0: mulu8 v106, v104, #12 @83
+  c0.s1: shl v42, v39, #6 @80
+  c0.s2: store v13, v4, #0 b=3 @21
+  c0.s3: add v62, v136, v138 @130
+.w 36
+  c0.s0: add v57, v56, v55 @116
+  c0.s1: shl v108, v107, #8 @85
+  c0.s2: add v64, v63, v62 @132
+  c0.s3: add v44, v41, v42 @87
+.w 37
+  c0.s1: sra v22, v21, #7 @41
+  c0.s3: add v43, v106, v108 @86
+.w 38
+  c0.s1: sra v34, v33, #7 @65
+  c0.s2: store v22, v139, _ b=3 @42
+  c0.s3: add v45, v44, v43 @88
+.w 39
+  c0.s1: sra v58, v57, #7 @117
+  c0.s2: store v34, v143, _ b=3 @66
+.w 40
+  c0.s1: sra v65, v64, #7 @133
+  c0.s3: add v59, v58, #128 @118
+.w 41
+  c0.s1: sra v46, v45, #7 @89
+  c0.s2: store v59, v68, _ b=4 @136
+  c0.s3: add v66, v65, #128 @134
+.w 42
+  c0.s2: store v46, v147, _ b=3 @90
+  ctrl: brcond v151 @140
+.w 43
+  c0.s2: store v66, v68, _ b=5 @137
+
+.section "loop:qy" kind=acyclic length=4 maxlive=2 opshash=0x2968f39299241f05
+.w 0
+  c0.s3: add v0, v0, #1 @0
+.w 1
+  c0.s3: cmpne v152, v0, #8 @1
+.w 2
+  ctrl: brcond v152 @2
+.w 3

@@ -1,0 +1,39 @@
+# Round-trip the committed ISA fixture through the real driver:
+#   asm    golden/colorconv_list.s   -> bytes  == golden .bin
+#   disasm golden/colorconv_list.bin -> text   == golden .s
+# Any drift in the encoder, parser, or printer shows up as a byte
+# diff against the committed pair. Variables: VVSP, GOLDEN_S,
+# GOLDEN_BIN, WORK_DIR.
+
+execute_process(
+    COMMAND ${VVSP} asm ${GOLDEN_S} --out=${WORK_DIR}/isa-roundtrip.bin
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vvsp asm failed (${rc}): ${err}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/isa-roundtrip.bin ${GOLDEN_BIN}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "assembled ${GOLDEN_S} differs from committed ${GOLDEN_BIN}")
+endif()
+
+execute_process(
+    COMMAND ${VVSP} disasm ${GOLDEN_BIN}
+    OUTPUT_FILE ${WORK_DIR}/isa-roundtrip.s
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "vvsp disasm failed (${rc}): ${err}")
+endif()
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+        ${WORK_DIR}/isa-roundtrip.s ${GOLDEN_S}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+        "disassembled ${GOLDEN_BIN} differs from committed ${GOLDEN_S}")
+endif()

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -69,6 +70,9 @@ sampleResult(double salt = 0.0)
     res.comp.icacheOk = true;
     res.comp.registersOk = false;
     res.comp.opsPerUnit = 4242.5;
+    res.comp.codeWords = 321;
+    res.comp.codeBytes = 5150;
+    res.comp.nopSlots = 8899;
     RegionCost r;
     r.label = "y loop";
     r.execCount = 16.0;
@@ -77,6 +81,8 @@ sampleResult(double salt = 0.0)
     r.cycles = 99.5 + salt;
     r.instructions = 40;
     r.maxLive = 17;
+    r.codeBytes = 640;
+    r.nopSlots = 280;
     res.comp.regions = {r, r};
     return res;
 }
@@ -102,6 +108,9 @@ expectEqual(const ExperimentResult &a, const ExperimentResult &b)
     EXPECT_EQ(a.comp.icacheOk, b.comp.icacheOk);
     EXPECT_EQ(a.comp.registersOk, b.comp.registersOk);
     EXPECT_EQ(a.comp.opsPerUnit, b.comp.opsPerUnit);
+    EXPECT_EQ(a.comp.codeWords, b.comp.codeWords);
+    EXPECT_EQ(a.comp.codeBytes, b.comp.codeBytes);
+    EXPECT_EQ(a.comp.nopSlots, b.comp.nopSlots);
     ASSERT_EQ(a.comp.regions.size(), b.comp.regions.size());
     for (size_t i = 0; i < a.comp.regions.size(); ++i) {
         EXPECT_EQ(a.comp.regions[i].label, b.comp.regions[i].label);
@@ -114,6 +123,10 @@ expectEqual(const ExperimentResult &a, const ExperimentResult &b)
                   b.comp.regions[i].instructions);
         EXPECT_EQ(a.comp.regions[i].maxLive,
                   b.comp.regions[i].maxLive);
+        EXPECT_EQ(a.comp.regions[i].codeBytes,
+                  b.comp.regions[i].codeBytes);
+        EXPECT_EQ(a.comp.regions[i].nopSlots,
+                  b.comp.regions[i].nopSlots);
     }
 }
 
@@ -260,6 +273,75 @@ TEST(DiskCache, ConcurrentWritersStayAtomic)
          std::filesystem::directory_iterator(dir.path)) {
         EXPECT_EQ(e.path().extension(), ".entry")
             << e.path().string();
+    }
+}
+
+TEST(DiskCache, MultiProcessBlobWritersNeverTear)
+{
+    // The blob namespace (encoded ISA modules) under real multi-
+    // process contention, the scenario the table benches hit when
+    // several vvsp invocations share one cache directory: forked
+    // writers hammer a single (kind, key) while the parent reads.
+    // Atomic rename publication means every read is Miss or one
+    // writer's complete payload - never a blend of two.
+    TempDir dir;
+
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 25;
+    constexpr size_t kPayload = 4096;
+    std::vector<pid_t> children;
+    for (int w = 0; w < kWriters; ++w) {
+        pid_t pid = ::fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            DiskCache disk(dir.path);
+            std::vector<uint8_t> payload(kPayload,
+                                         static_cast<uint8_t>(w + 1));
+            for (int i = 0; i < kRounds; ++i) {
+                if (!disk.storeBlob("isa-module", "shared-key",
+                                    payload))
+                    _exit(1);
+            }
+            _exit(0);
+        }
+        children.push_back(pid);
+    }
+
+    DiskCache disk(dir.path);
+    auto checkPayload = [&](const std::vector<uint8_t> &out) {
+        // A complete blob from exactly one writer: uniform fill.
+        ASSERT_EQ(out.size(), kPayload);
+        EXPECT_GE(out[0], 1);
+        EXPECT_LE(out[0], kWriters);
+        for (uint8_t b : out)
+            ASSERT_EQ(b, out[0]) << "torn blob";
+    };
+    // Read concurrently while the children are still writing.
+    for (int i = 0; i < 200; ++i) {
+        std::vector<uint8_t> out;
+        DiskLoadOutcome outcome =
+            disk.loadBlob("isa-module", "shared-key", out);
+        if (outcome == DiskLoadOutcome::Hit)
+            checkPayload(out);
+        else
+            EXPECT_EQ(outcome, DiskLoadOutcome::Miss);
+    }
+
+    for (pid_t pid : children) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+
+    std::vector<uint8_t> out;
+    ASSERT_EQ(disk.loadBlob("isa-module", "shared-key", out),
+              DiskLoadOutcome::Hit);
+    checkPayload(out);
+
+    // No leaked temp files once every writer has renamed or cleaned.
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir.path)) {
+        EXPECT_EQ(e.path().extension(), ".blob") << e.path().string();
     }
 }
 

@@ -1,0 +1,615 @@
+/**
+ * @file
+ * The ISA layer end to end: format JSON round trips, binary and
+ * textual encode/decode identity across models and kernels, the
+ * scheduler-estimate == encoder-ground-truth invariant, decoded
+ * execution bit-identity in the cycle simulator, schedule-module
+ * rehydration through the disk cache, blob robustness, and the
+ * assembler's error paths (every failure a diagnostic, never a
+ * crash).
+ *
+ * Built as its own executable (vvsp_isa_tests) so `ctest -L isa`
+ * runs exactly this layer; the sanitize preset picks the suites up
+ * by the "Isa" name prefix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/models.hh"
+#include "core/disk_cache.hh"
+#include "core/experiment.hh"
+#include "core/experiment_cache.hh"
+#include "isa/disassembler.hh"
+#include "isa/encoder.hh"
+#include "isa/format.hh"
+#include "obs/stats_registry.hh"
+#include "sim/bytecode.hh"
+#include "sim/cycle_sim.hh"
+
+using namespace vvsp;
+
+namespace
+{
+
+/** Fresh cache directory, removed on destruction. */
+struct TempDir
+{
+    TempDir()
+    {
+        static int seq = 0;
+        path = (std::filesystem::temp_directory_path() /
+                ("vvsp-isa-test-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(seq++)))
+                   .string();
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+    std::string path;
+};
+
+/**
+ * The `vvsp asm --kernel` pipeline: lower, profile on the bytecode
+ * engine, compose with the module emitter attached. Mirrors
+ * runExperiment's compose phase without the golden check.
+ */
+IsaModule
+pipelineModule(const KernelSpec &kernel, const VariantSpec &variant,
+               DatapathConfig cfg, int profile_units = 1)
+{
+    if (variant.needsAbsDiff && !cfg.cluster.hasAbsDiff)
+        cfg = models::withAbsDiff(std::move(cfg));
+    MachineModel machine(cfg);
+
+    Function fn = lowerVariant(kernel, variant, machine);
+    AvgProfile avg(fn.numNodeIds());
+    FrameGeometry geom = FrameGeometry::ccir601();
+    BytecodeEngine engine(std::make_shared<const BytecodeProgram>(fn));
+    for (int u = 0; u < profile_units; ++u) {
+        MemoryImage mem(fn);
+        kernel.prepare(fn, mem, geom, u);
+        avg.accumulate(engine.run(mem));
+    }
+    avg.scale(1.0 / profile_units);
+
+    Composer composer(machine, variant.mode);
+    IsaModule module;
+    composer.compose(fn, avg, nullptr, &module);
+    return module;
+}
+
+/** encode -> decode -> re-encode must be byte-identical. */
+void
+expectBinaryRoundTrip(const IsaModule &module, const std::string &what)
+{
+    std::vector<uint8_t> bytes = encodeModule(module);
+    ASSERT_FALSE(bytes.empty()) << what;
+
+    IsaModule decoded;
+    std::string error;
+    ASSERT_TRUE(decodeModule(bytes, decoded, &error))
+        << what << ": " << error;
+    EXPECT_EQ(decoded.machine, module.machine) << what;
+    EXPECT_EQ(decoded.fmt, module.fmt) << what;
+    ASSERT_EQ(decoded.sections.size(), module.sections.size()) << what;
+
+    std::vector<uint8_t> again = encodeModule(decoded);
+    EXPECT_EQ(bytes, again) << what << ": re-encode diverged";
+}
+
+TEST(IsaFormat, DerivedFromConfigAndJsonRoundTrip)
+{
+    for (const char *name :
+         {"I4C8S4", "I4C8S4C", "I4C8S5", "I2C16S4", "I2C16S5",
+          "I4C8S5M16", "I2C16S5M16"}) {
+        DatapathConfig cfg = models::byName(name);
+        IsaFormat fmt = isaFormatFor(cfg);
+        EXPECT_EQ(fmt.clusters, cfg.clusters) << name;
+        EXPECT_EQ(fmt.slotsPerCluster, cfg.cluster.issueSlots) << name;
+        EXPECT_GT(fmt.archRegBits, 0) << name;
+        // 8x4 word: 32 operation fields + control slot = 33 mask bits,
+        // the paper's "operation 33".
+        if (std::string(name) == "I4C8S4") {
+            EXPECT_EQ(fmt.maskBits(), 33);
+        }
+
+        std::string error;
+        std::optional<IsaFormat> back =
+            isaFormatFromJson(isaFormatToJson(fmt), &error);
+        ASSERT_TRUE(back.has_value()) << name << ": " << error;
+        EXPECT_EQ(*back, fmt) << name;
+    }
+}
+
+TEST(IsaFormat, StrictJsonRejects)
+{
+    std::string error;
+
+    EXPECT_FALSE(isaFormatFromJson("{\"clusterz\": 8}", &error));
+    EXPECT_NE(error.find("unknown isa format key"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(
+        isaFormatFromJson("{\"clusters\": \"eight\"}", &error));
+    EXPECT_NE(error.find("wants an integer"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(isaFormatFromJson("{\"imm_bits\": 0}", &error));
+    EXPECT_NE(error.find("must be positive"), std::string::npos)
+        << error;
+
+    EXPECT_FALSE(isaFormatFromJson("[1, 2]", &error));
+    EXPECT_FALSE(isaFormatFromJson("{\"clusters\": 8", &error));
+}
+
+TEST(IsaRoundTrip, EveryModelEncodesColorConv)
+{
+    // One kernel across all seven registered models: the format
+    // changes shape (8x4 vs 16x2 words, reg/cluster widths) but the
+    // binary image must survive decode -> re-encode everywhere.
+    const KernelSpec &k = kernelByName("RGB:YCrCb converter/subsampler");
+    for (const char *name :
+         {"I4C8S4", "I4C8S4C", "I4C8S5", "I2C16S4", "I2C16S5",
+          "I4C8S5M16", "I2C16S5M16"}) {
+        for (const VariantSpec &v : k.variants) {
+            IsaModule module =
+                pipelineModule(k, v, models::byName(name));
+            EXPECT_FALSE(module.sections.empty());
+            expectBinaryRoundTrip(module, std::string(name) + "/" +
+                                              v.name);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, EveryKernelEncodesOnI4C8S4)
+{
+    // Every kernel's first and last variant (sequential baseline and
+    // the most aggressive schedule) on the initial model.
+    for (const KernelSpec &k : allKernels()) {
+        std::vector<const VariantSpec *> picks = {
+            &k.variants.front(), &k.variants.back()};
+        for (const VariantSpec *v : picks) {
+            IsaModule module =
+                pipelineModule(k, *v, models::i4c8s4());
+            EXPECT_FALSE(module.sections.empty());
+            expectBinaryRoundTrip(module, k.name + "/" + v->name);
+        }
+    }
+}
+
+TEST(IsaRoundTrip, TextualAsmParsesBackIdentically)
+{
+    // printAsm -> parseAsm -> encode must match the direct encoding,
+    // for both an acyclic module and a software-pipelined one (whose
+    // sections carry ii/stages and per-op stage fields).
+    struct Cell
+    {
+        const char *kernel;
+        const char *variant;
+        const char *model;
+    } cells[] = {
+        {"RGB:YCrCb converter/subsampler", "List-scheduled", "I4C8S4"},
+        {"RGB:YCrCb converter/subsampler", "SW Pipelined & predicated",
+         "I2C16S5M16"},
+    };
+    for (const Cell &c : cells) {
+        const KernelSpec &k = kernelByName(c.kernel);
+        IsaModule module = pipelineModule(k, k.variant(c.variant),
+                                          models::byName(c.model));
+        std::vector<uint8_t> bytes = encodeModule(module);
+
+        IsaModule parsed;
+        std::string error;
+        ASSERT_TRUE(parseAsm(printAsm(module), parsed, &error))
+            << c.variant << ": " << error;
+        EXPECT_EQ(encodeModule(parsed), bytes)
+            << c.variant << ": text round trip diverged";
+    }
+}
+
+TEST(IsaRoundTrip, AbsDiffMachineNameStaysResolvable)
+{
+    // "Add spec. op" rows run on a derived machine; the emitted
+    // `.machine` name must carry the +AD suffix so the registry can
+    // resolve it when the text is re-assembled.
+    const KernelSpec &k = kernelByName("Full Motion Search");
+    IsaModule module =
+        pipelineModule(k, k.variant("Add spec. op (blocked)"),
+                       models::i4c8s4());
+    EXPECT_EQ(module.machine, "I4C8S4+AD");
+
+    IsaModule parsed;
+    std::string error;
+    ASSERT_TRUE(parseAsm(printAsm(module), parsed, &error)) << error;
+    EXPECT_EQ(encodeModule(parsed), encodeModule(module));
+}
+
+TEST(IsaEstimate, SchedulerEstimateEqualsEncoderGroundTruth)
+{
+    // The S1 invariant on real table cells: the composer's
+    // totalInstructions (scheduler estimate, asserted per section in
+    // buildSection) must equal the encoder's measured word count.
+    struct Cell
+    {
+        const char *kernel;
+        const char *variant;
+        const char *model;
+    } cells[] = {
+        {"RGB:YCrCb converter/subsampler", "List-scheduled", "I4C8S4"},
+        {"Three-step Search", "Blocking/Loop Exchange", "I2C16S4"},
+        {"DCT - row/column", "SW pipelined & predicated",
+         "I2C16S5M16"},
+    };
+    for (const Cell &c : cells) {
+        const KernelSpec &k = kernelByName(c.kernel);
+        ExperimentRequest req;
+        req.kernel = &k;
+        req.variant = &k.variant(c.variant);
+        req.model = models::byName(c.model);
+        req.profileUnits = 1;
+        ExperimentResult res = runExperiment(req);
+
+        EXPECT_TRUE(res.passed) << c.variant;
+        EXPECT_GT(res.comp.codeWords, 0) << c.variant;
+        EXPECT_GT(res.comp.codeBytes, res.comp.codeWords) << c.variant;
+        EXPECT_EQ(res.comp.codeWords, res.comp.totalInstructions)
+            << c.variant << ": estimate != encoder ground truth";
+        int64_t region_words = 0;
+        for (const RegionCost &r : res.comp.regions)
+            region_words += r.instructions;
+        EXPECT_EQ(region_words, res.comp.codeWords) << c.variant;
+    }
+}
+
+TEST(IsaSim, DecodedExecutionIsBitIdentical)
+{
+    // Executing through encode -> decode must not change a single
+    // cycle or memory word relative to executing the scheduler's
+    // output directly.
+    struct Cell
+    {
+        const char *kernel;
+        const char *variant;
+    } cells[] = {
+        {"Full Motion Search", "Blocking/Loop Exchange"},
+        {"RGB:YCrCb converter/subsampler",
+         "SW Pipelined & predicated"},
+    };
+    for (const Cell &c : cells) {
+        const KernelSpec &k = kernelByName(c.kernel);
+        const VariantSpec &v = k.variant(c.variant);
+        MachineModel machine(models::i4c8s4());
+        FrameGeometry geom{48, 32};
+
+        auto execute = [&](bool round_trip, CycleSimReport &rep) {
+            // run() mutates the function (materialized loop
+            // control), so each leg lowers afresh.
+            Function fn = lowerVariant(k, v, machine);
+            MemoryImage mem(fn);
+            k.prepare(fn, mem, geom, 0);
+            CycleSim sim(machine, v.mode);
+            sim.setIsaRoundTrip(round_trip);
+            rep = sim.run(fn, mem);
+            return mem;
+        };
+
+        CycleSimReport direct, decoded;
+        MemoryImage mem_direct = execute(false, direct);
+        MemoryImage mem_decoded = execute(true, decoded);
+
+        EXPECT_EQ(direct.cycles, decoded.cycles) << c.variant;
+        EXPECT_EQ(direct.operations, decoded.operations) << c.variant;
+        EXPECT_EQ(direct.nullified, decoded.nullified) << c.variant;
+        EXPECT_EQ(direct.transfers, decoded.transfers) << c.variant;
+        EXPECT_EQ(direct.instructions, decoded.instructions)
+            << c.variant;
+        ASSERT_EQ(mem_direct.numBuffers(), mem_decoded.numBuffers());
+        for (size_t b = 0; b < mem_direct.numBuffers(); ++b) {
+            EXPECT_EQ(mem_direct.bufferWords(int(b)),
+                      mem_decoded.bufferWords(int(b)))
+                << c.variant << " buffer " << b;
+        }
+    }
+}
+
+TEST(IsaRehydrate, WarmRerunSkipsSchedulingBitExactly)
+{
+    const KernelSpec &k = kernelByName("Three-step Search");
+    std::vector<ExperimentRequest> grid;
+    for (size_t vi = 0; vi < k.variants.size() && vi < 2; ++vi) {
+        ExperimentRequest req;
+        req.kernel = &k;
+        req.variant = &k.variants[vi];
+        req.model = models::i4c8s4();
+        req.profileUnits = 1;
+        grid.push_back(req);
+    }
+
+    std::vector<ExperimentResult> cold;
+    for (const ExperimentRequest &req : grid)
+        cold.push_back(runExperiment(req));
+
+    TempDir dir;
+    DiskCache disk(dir.path);
+    {
+        ExperimentCache fill;
+        fill.setDiskCache(&disk);
+        for (const ExperimentRequest &req : grid)
+            runExperiment(req, &fill);
+    }
+
+    // Drop the result entries but keep the isa-module blobs: the
+    // rerun must miss on results, rehydrate every schedule from the
+    // blobs, and still reproduce the cold numbers bit-exactly.
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir.path)) {
+        if (e.path().extension() == ".entry")
+            std::filesystem::remove(e.path());
+    }
+
+    obs::StatsRegistry stats;
+    obs::StatsRegistry *prev = obs::globalStats();
+    obs::setGlobalStats(&stats);
+    ExperimentCache warm;
+    warm.setDiskCache(&disk);
+    std::vector<ExperimentResult> rehydrated;
+    for (const ExperimentRequest &req : grid)
+        rehydrated.push_back(runExperiment(req, &warm));
+    obs::setGlobalStats(prev);
+
+    EXPECT_EQ(warm.stats().moduleHits, grid.size());
+    EXPECT_GT(stats.counterValue("isa/sections_rehydrated"), 0u);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        const ExperimentResult &a = cold[i];
+        const ExperimentResult &b = rehydrated[i];
+        EXPECT_EQ(a.cyclesPerUnit, b.cyclesPerUnit);
+        EXPECT_EQ(a.cyclesPerFrame, b.cyclesPerFrame);
+        EXPECT_EQ(a.comp.totalInstructions, b.comp.totalInstructions);
+        EXPECT_EQ(a.comp.codeWords, b.comp.codeWords);
+        EXPECT_EQ(a.comp.codeBytes, b.comp.codeBytes);
+        EXPECT_EQ(a.comp.nopSlots, b.comp.nopSlots);
+        EXPECT_EQ(a.comp.maxLive, b.comp.maxLive);
+        ASSERT_EQ(a.comp.regions.size(), b.comp.regions.size());
+        for (size_t r = 0; r < a.comp.regions.size(); ++r) {
+            EXPECT_EQ(a.comp.regions[r].cycles,
+                      b.comp.regions[r].cycles);
+            EXPECT_EQ(a.comp.regions[r].instructions,
+                      b.comp.regions[r].instructions);
+        }
+    }
+}
+
+TEST(IsaRehydrate, StaleBlobFallsBackToScheduling)
+{
+    const KernelSpec &k = kernelByName("Three-step Search");
+    ExperimentRequest req;
+    req.kernel = &k;
+    req.variant = &k.variants.front();
+    req.model = models::i4c8s4();
+    req.profileUnits = 1;
+
+    TempDir dir;
+    DiskCache disk(dir.path);
+    {
+        ExperimentCache fill;
+        fill.setDiskCache(&disk);
+        runExperiment(req, &fill);
+    }
+    ExperimentResult cold = runExperiment(req);
+
+    // Corrupt the module blob and drop the result entries: the rerun
+    // must classify the blob as garbage, reschedule, and still match.
+    std::string blob = disk.blobPath(
+        "isa-module", ExperimentCache::scheduleKey(req, req.model));
+    ASSERT_TRUE(std::filesystem::exists(blob));
+    {
+        std::ofstream os(blob, std::ios::binary | std::ios::trunc);
+        os << "vvsp-blob 1 isa-module\ngarbage";
+    }
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir.path)) {
+        if (e.path().extension() == ".entry")
+            std::filesystem::remove(e.path());
+    }
+
+    ExperimentCache warm;
+    warm.setDiskCache(&disk);
+    ExperimentResult res = runExperiment(req, &warm);
+    EXPECT_EQ(warm.stats().moduleHits, 0u);
+    EXPECT_EQ(res.cyclesPerUnit, cold.cyclesPerUnit);
+    EXPECT_EQ(res.comp.codeWords, cold.comp.codeWords);
+}
+
+TEST(IsaDiskBlob, RoundTripAndRobustness)
+{
+    TempDir dir;
+    DiskCache disk(dir.path);
+    std::vector<uint8_t> payload;
+    for (int i = 0; i < 1000; ++i)
+        payload.push_back(uint8_t(i * 7));
+    // Binary-unsafe bytes the length-framed format must survive.
+    payload.insert(payload.end(), {0, '\n', 0xff, '\r', 'e', 'n', 'd'});
+
+    ASSERT_TRUE(disk.storeBlob("isa-module", "key-a", payload));
+    std::vector<uint8_t> out;
+    EXPECT_EQ(disk.loadBlob("isa-module", "key-a", out),
+              DiskLoadOutcome::Hit);
+    EXPECT_EQ(out, payload);
+
+    EXPECT_EQ(disk.loadBlob("isa-module", "key-absent", out),
+              DiskLoadOutcome::Miss);
+
+    // A different (kind, key) hashing to this file: key echo must
+    // classify it as a collision, not serve the wrong bytes.
+    std::filesystem::rename(disk.blobPath("isa-module", "key-a"),
+                            disk.blobPath("isa-module", "key-b"));
+    EXPECT_EQ(disk.loadBlob("isa-module", "key-b", out),
+              DiskLoadOutcome::Collision);
+    std::filesystem::rename(disk.blobPath("isa-module", "key-b"),
+                            disk.blobPath("isa-module", "key-a"));
+
+    // Truncations anywhere (header, payload, trailer) are Corrupt.
+    std::ifstream is(disk.blobPath("isa-module", "key-a"),
+                     std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    std::string body = ss.str();
+    is.close();
+    for (size_t cut : {body.size() - 2, body.size() / 2, size_t{5}}) {
+        std::ofstream os(disk.blobPath("isa-module", "key-a"),
+                         std::ios::binary | std::ios::trunc);
+        os << body.substr(0, cut);
+        os.close();
+        EXPECT_EQ(disk.loadBlob("isa-module", "key-a", out),
+                  DiskLoadOutcome::Corrupt)
+            << "cut=" << cut;
+    }
+
+    // Version skew in the header is Corrupt (schema evolution path).
+    {
+        std::ofstream os(disk.blobPath("isa-module", "key-a"),
+                         std::ios::binary | std::ios::trunc);
+        size_t nl = body.find('\n');
+        os << "vvsp-blob 9999 isa-module" << body.substr(nl);
+    }
+    EXPECT_EQ(disk.loadBlob("isa-module", "key-a", out),
+              DiskLoadOutcome::Corrupt);
+
+    // A rewrite heals the slot.
+    ASSERT_TRUE(disk.storeBlob("isa-module", "key-a", payload));
+    EXPECT_EQ(disk.loadBlob("isa-module", "key-a", out),
+              DiskLoadOutcome::Hit);
+    EXPECT_EQ(out, payload);
+}
+
+// ----------------------------------------------------------------
+// Assembler error paths (S4): one actionable diagnostic per failure
+// mode, never a crash. The skeletons are minimal hand-written
+// modules; opshash/maxlive are optional section fields.
+// ----------------------------------------------------------------
+
+std::string
+asmWithOp(const std::string &op_line)
+{
+    return ".machine I4C8S4\n"
+           ".section \"b\" kind=acyclic length=1\n"
+           ".w 0\n"
+           "  " +
+           op_line + "\n";
+}
+
+void
+expectAsmError(const std::string &text, const std::string &needle)
+{
+    IsaModule module;
+    std::string error;
+    EXPECT_FALSE(parseAsm(text, module, &error));
+    EXPECT_NE(error.find(needle), std::string::npos)
+        << "diagnostic was: " << error;
+}
+
+TEST(IsaAsmErrors, UnknownMnemonic)
+{
+    expectAsmError(asmWithOp("c0.s1: frobnicate v1, v0 @0"),
+                   "unknown mnemonic 'frobnicate'");
+}
+
+TEST(IsaAsmErrors, ImmediateOutOfRange)
+{
+    expectAsmError(asmWithOp("c0.s1: add v1, v0, #99999 @0"),
+                   "immediate 99999 exceeds the 16-bit field");
+}
+
+TEST(IsaAsmErrors, SlotCannotExecuteOp)
+{
+    // Loads issue on the memory slot (c0.s2 on I4C8S4); slot 0 has
+    // no load/store capability, so the assembler must name the slot
+    // and the machine.
+    expectAsmError(asmWithOp("c0.s0: load v1, v0, #0 b=0 @0"),
+                   "slot c0.s0 cannot execute 'load' on I4C8S4");
+
+    // The same op on the right slot assembles.
+    IsaModule module;
+    std::string error;
+    EXPECT_TRUE(parseAsm(asmWithOp("c0.s2: load v1, v0, #0 b=0 @0"),
+                         module, &error))
+        << error;
+}
+
+TEST(IsaAsmErrors, SlotOutsideWord)
+{
+    expectAsmError(asmWithOp("c9.s0: add v1, v0, #1 @0"),
+                   "slot c9.s0 outside the 8x4 word");
+}
+
+TEST(IsaAsmErrors, StructuralViolations)
+{
+    // An op before any section, and a section before any machine.
+    expectAsmError("  c0.s1: add v1, v0, #1 @0\n",
+                   "operation outside a section");
+    expectAsmError(".section \"b\" kind=acyclic length=1\n",
+                   ".section before .machine");
+
+    // Memory ops must name their bank; every op needs its program
+    // index; a slot holds one op per word.
+    expectAsmError(asmWithOp("c0.s2: load v1, v0, #0 @0"),
+                   "wants b=<buffer>");
+    expectAsmError(asmWithOp("c0.s1: add v1, v0, #1"),
+                   "missing @<program index>");
+    expectAsmError(asmWithOp("c0.s1: add v1, v0, #1 @0\n"
+                             "  c0.s1: add v2, v0, #2 @1"),
+                   "slot already occupied");
+}
+
+TEST(IsaAsmErrors, DeclaredOpsHashMismatch)
+{
+    // A declared opshash that disagrees with the ops is the
+    // rehydration guard firing at the text layer.
+    expectAsmError(".machine I4C8S4\n"
+                   ".section \"b\" kind=acyclic length=1 "
+                   "opshash=0xdeadbeefdeadbeef\n"
+                   ".w 0\n"
+                   "  c0.s1: add v1, v0, #1 @0\n",
+                   "opshash mismatch");
+}
+
+TEST(IsaAsmErrors, TruncatedBinaryNeverCrashes)
+{
+    // Every prefix of a real image must decode to a diagnostic.
+    const KernelSpec &k = kernelByName("RGB:YCrCb converter/subsampler");
+    IsaModule module = pipelineModule(k, k.variant("List-scheduled"),
+                                      models::i4c8s4());
+    std::vector<uint8_t> bytes = encodeModule(module);
+    ASSERT_GT(bytes.size(), 64u);
+
+    // The final byte may hold only padding bits, so the shallowest
+    // cut still has to remove real payload.
+    for (size_t cut :
+         {size_t{0}, size_t{3}, size_t{6}, size_t{21}, size_t{40},
+          bytes.size() / 2, bytes.size() - 16}) {
+        std::vector<uint8_t> trunc(bytes.begin(), bytes.begin() + cut);
+        IsaModule out;
+        std::string error;
+        EXPECT_FALSE(decodeModule(trunc, out, &error))
+            << "cut=" << cut;
+        EXPECT_FALSE(error.empty()) << "cut=" << cut;
+    }
+
+    // Flipping a payload byte must be caught (ops hash or operand
+    // validation), not silently decoded into different code.
+    std::vector<uint8_t> flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x5a;
+    IsaModule out;
+    std::string error;
+    std::vector<uint8_t> reenc;
+    if (decodeModule(flipped, out, &error))
+        reenc = encodeModule(out);
+    EXPECT_NE(reenc, bytes);
+}
+
+} // namespace
