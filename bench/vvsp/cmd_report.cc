@@ -87,7 +87,8 @@ trendArrow(double prev, double cur, bool higher_better)
 
 bool
 loadLedger(const DriverOptions &opts,
-           std::vector<obs::RunManifest> &entries, std::string &path)
+           std::vector<obs::RunManifest> &entries, std::string &path,
+           size_t *malformed_out = nullptr)
 {
     path = ledgerPathOrDefault(opts);
     size_t malformed = 0;
@@ -101,6 +102,8 @@ loadLedger(const DriverOptions &opts,
                      "vvsp: skipped %zu malformed ledger line%s\n",
                      malformed, malformed == 1 ? "" : "s");
     }
+    if (malformed_out)
+        *malformed_out = malformed;
     return true;
 }
 
@@ -123,11 +126,12 @@ cmdReport(const DriverOptions &opts)
 {
     std::vector<obs::RunManifest> entries;
     std::string path;
-    if (!loadLedger(opts, entries, path))
-        return 2;
+    size_t malformed = 0;
+    if (!loadLedger(opts, entries, path, &malformed))
+        return kExitRuntime;
     if (entries.empty()) {
         std::printf("ledger %s: no entries\n", path.c_str());
-        return 0;
+        return kExitOk;
     }
 
     // Group by (subcommand, machine set), keeping first-seen order
@@ -146,6 +150,11 @@ cmdReport(const DriverOptions &opts)
     std::printf("ledger %s: %zu entries, %zu groups (last %d each)\n",
                 path.c_str(), entries.size(), groups.size(),
                 opts.lastN);
+    if (malformed > 0) {
+        std::printf("warning: %zu malformed line%s skipped — run "
+                    "`vvsp fsck` to repair the ledger\n",
+                    malformed, malformed == 1 ? "" : "s");
+    }
     for (const std::string &key : order) {
         const std::vector<size_t> &idxs = groups[key];
         const obs::RunManifest &head = entries[idxs.front()];
@@ -306,7 +315,7 @@ cmdDiff(const DriverOptions &opts)
     std::vector<obs::RunManifest> entries;
     std::string path;
     if (!loadLedger(opts, entries, path))
-        return 2;
+        return kExitRuntime;
 
     std::vector<obs::Regression> regressions;
     std::string label_a, label_b;
@@ -317,13 +326,13 @@ cmdDiff(const DriverOptions &opts)
                          "vvsp: ledger '%s' has %zu entries; --b=%d "
                          "is out of range\n",
                          path.c_str(), entries.size(), opts.diffB);
-            return 2;
+            return kExitUsage;
         }
         std::string error;
         if (!diffAgainstFloor(entries[static_cast<size_t>(b)],
                               opts.floorPath, regressions, error)) {
             std::fprintf(stderr, "vvsp: %s\n", error.c_str());
-            return 2;
+            return kExitRuntime;
         }
         label_a = "floor " + opts.floorPath;
         label_b = "entry " + std::to_string(b);
@@ -333,7 +342,7 @@ cmdDiff(const DriverOptions &opts)
                          "vvsp: ledger '%s' has %zu entries; diff "
                          "needs two (or --floor=FILE)\n",
                          path.c_str(), entries.size());
-            return 2;
+            return kExitRuntime;
         }
         int a = resolveIndex(opts.diffA, entries.size());
         int b = resolveIndex(opts.diffB, entries.size());
@@ -343,7 +352,7 @@ cmdDiff(const DriverOptions &opts)
                          "--b=%d out of range\n",
                          path.c_str(), entries.size(), opts.diffA,
                          opts.diffB);
-            return 2;
+            return kExitUsage;
         }
         obs::DiffOptions dopts;
         dopts.ratio = opts.threshold;
@@ -365,7 +374,7 @@ cmdDiff(const DriverOptions &opts)
     if (regressions.empty()) {
         std::printf("no regressions (threshold %.2fx)\n",
                     opts.threshold);
-        return 0;
+        return kExitOk;
     }
     std::printf("%zu regression%s (threshold %.2fx):\n",
                 regressions.size(),
@@ -374,7 +383,7 @@ cmdDiff(const DriverOptions &opts)
         std::printf("  %-40s  %14.3f -> %14.3f\n", r.metric.c_str(),
                     r.before, r.after);
     }
-    return 1;
+    return kExitRuntime;
 }
 
 } // namespace cli

@@ -165,6 +165,8 @@ parseDriverArgs(int argc, char **argv, int first)
             }
         } else if (std::strcmp(a, "--no-score") == 0) {
             opts.score = false;
+        } else if (std::strcmp(a, "--no-quarantine") == 0) {
+            opts.fsckRepair = false;
         } else if (a[0] == '-') {
             usageAndExit(argv[0]);
         } else {
@@ -397,13 +399,16 @@ printJsonCells(const std::string &kernel_name,
                 jsonEscape(kernel_name).c_str());
     for (size_t i = 0; i < results.size(); ++i) {
         const ExperimentResult &r = results[i];
+        // "degraded" appears only on cells whose scheduling budget
+        // ran out (VVSP_SCHED_BUDGET), keeping un-budgeted output —
+        // and the golden byte-identity tests — unchanged.
         std::printf("  {\"variant\": \"%s\", \"model\": \"%s\", "
                     "\"cycles_per_frame\": %.1f, "
                     "\"cycles_per_unit\": %.4f, "
                     "\"paper_cycles_per_frame\": %.1f, "
                     "\"code_words\": %lld, \"code_bytes\": %lld, "
                     "\"passed\": %s, \"icache_ok\": %s, "
-                    "\"registers_ok\": %s}%s\n",
+                    "\"registers_ok\": %s%s}%s\n",
                     jsonEscape(r.variant).c_str(),
                     jsonEscape(r.model).c_str(), r.cyclesPerFrame,
                     r.cyclesPerUnit, paper_values[i],
@@ -412,6 +417,8 @@ printJsonCells(const std::string &kernel_name,
                     r.passed ? "true" : "false",
                     r.comp.icacheOk ? "true" : "false",
                     r.comp.registersOk ? "true" : "false",
+                    r.comp.degradedRegions > 0 ? ", \"degraded\": true"
+                                               : "",
                     i + 1 < results.size() ? "," : "");
     }
     std::printf("]}\n");
@@ -458,6 +465,8 @@ runSectionGrid(const std::string &kernel_name,
                 cell += "^"; // hot loop exceeds the icache.
             if (!r.comp.registersOk)
                 cell += "*"; // register pressure exceeds the file.
+            if (r.comp.degradedRegions > 0)
+                cell += "~"; // scheduling budget exhausted.
             cells.push_back(cell);
             double pv = grid.paperCycles[idx];
             cells.push_back(pv > 0 ? TextTable::cycles(pv) : "-");
@@ -470,7 +479,8 @@ runSectionGrid(const std::string &kernel_name,
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("flags: ! golden mismatch, ^ hot loop exceeds icache, "
-                "* register pressure exceeds file; 'code' = measured "
+                "* register pressure exceeds file, ~ degraded "
+                "(scheduling budget exhausted); 'code' = measured "
                 "instruction words\n\n");
 }
 

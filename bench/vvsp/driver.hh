@@ -34,6 +34,15 @@ namespace vvsp
 namespace cli
 {
 
+/**
+ * Process exit statuses, uniform across every subcommand (README
+ * "Exit codes"): 0 success, 1 runtime failure or detected
+ * regression/damage, 2 usage error (bad flags or arguments).
+ */
+constexpr int kExitOk = 0;
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
 /** Options shared by every subcommand. */
 struct DriverOptions
 {
@@ -78,6 +87,10 @@ struct DriverOptions
     bool mul16 = false;
     double maxAreaMm2 = 260.0;
     bool score = true; ///< --no-score skips the workload scoring.
+
+    /** `fsck`: --no-quarantine = check-only (report damage, move
+     *  nothing; any damage then exits nonzero). */
+    bool fsckRepair = true;
 };
 
 /**
@@ -180,6 +193,7 @@ int cmdReport(const DriverOptions &opts);
 int cmdDiff(const DriverOptions &opts);
 int cmdAsm(const DriverOptions &opts);
 int cmdDisasm(const DriverOptions &opts);
+int cmdFsck(const DriverOptions &opts);
 
 } // namespace cli
 } // namespace vvsp

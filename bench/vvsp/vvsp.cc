@@ -17,6 +17,7 @@
  *   vvsp diff               compare two ledger entries (or a floor)
  *   vvsp asm                assemble .s (or a kernel) to binary words
  *   vvsp disasm             decode binary words back to assembly
+ *   vvsp fsck               verify/repair the disk cache and ledger
  *   vvsp list               specs, sections, models, machine files
  *
  * Every subcommand accepts the uniform flag set (--json, --threads=N,
@@ -76,7 +77,7 @@ usage(FILE *out)
                  "usage: vvsp <subcommand> [args] [flags]\n"
                  "subcommands: table1 table2 ablation conclusions "
                  "utilization figs sweep explore report diff asm "
-                 "disasm list\n"
+                 "disasm fsck list\n"
                  "flags: --json --threads=N --machine=NAME|FILE.json "
                  "--model=NAME --variant=NAME\n"
                  "       --no-cache --no-disk-cache --cache-dir=DIR "
@@ -90,6 +91,10 @@ usage(FILE *out)
                  "asm:     FILE.s | --kernel=NAME [--variant=NAME] "
                  "[--machine=MODEL] [--out=FILE.bin]\n"
                  "disasm:  FILE.bin\n"
+                 "fsck:    [--cache-dir=DIR] [--ledger[=FILE]] "
+                 "[--no-quarantine]\n"
+                 "exit codes: 0 success, 1 runtime failure or "
+                 "regression/damage, 2 usage error\n"
                  "run `vvsp list` for sections and models\n");
     return out == stdout ? 0 : 2;
 }
@@ -132,6 +137,8 @@ main(int argc, char **argv)
         return cmdAsm(opts);
     if (cmd == "disasm")
         return cmdDisasm(opts);
+    if (cmd == "fsck")
+        return cmdFsck(opts);
 
     std::fprintf(stderr, "vvsp: unknown subcommand '%s'\n",
                  cmd.c_str());

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/failpoint.hh"
 #include "support/json.hh"
 #include "support/logging.hh"
 
@@ -324,6 +325,11 @@ configFromJson(const std::string &text, std::string *error,
 std::optional<DatapathConfig>
 loadMachineFile(const std::string &path, std::string *error)
 {
+    if (failpoint::evaluate("config/machine_io")) {
+        if (error)
+            *error = "simulated I/O failure reading '" + path + "'";
+        return std::nullopt;
+    }
     std::ifstream in(path);
     if (!in) {
         if (error)

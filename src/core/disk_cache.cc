@@ -1,6 +1,7 @@
 #include "core/disk_cache.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -12,6 +13,8 @@
 #include <unistd.h>
 
 #include "obs/stats_registry.hh"
+#include "support/failpoint.hh"
+#include "support/io_retry.hh"
 #include "support/logging.hh"
 
 namespace vvsp
@@ -199,23 +202,24 @@ serialize(std::ostream &os, const std::string &key,
     os << "end\n";
 }
 
-DiskLoadOutcome
-deserialize(std::istream &is, const std::string &key,
-            ExperimentResult &out)
+/** Parse header magic/version plus the embedded key. */
+bool
+readEntryHeader(Reader &rd, std::string &stored_key)
 {
-    Reader rd(is);
     std::istringstream header(rd.rawLine());
     std::string magic;
     int version = -1;
     header >> magic >> version;
     if (!rd.ok() || magic != kMagic || version != kSchemaVersion)
-        return DiskLoadOutcome::Corrupt;
-    std::string stored_key = rd.str();
-    if (!rd.ok())
-        return DiskLoadOutcome::Corrupt;
-    if (stored_key != key)
-        return DiskLoadOutcome::Collision; // other key, same hash.
+        return false;
+    stored_key = rd.str();
+    return rd.ok();
+}
 
+/** Parse everything after the key (shared with fsck validation). */
+DiskLoadOutcome
+readEntryBody(Reader &rd, ExperimentResult &out)
+{
     ExperimentResult res;
     res.kernel = rd.str();
     res.variant = rd.str();
@@ -259,6 +263,56 @@ deserialize(std::istream &is, const std::string &key,
     return DiskLoadOutcome::Hit;
 }
 
+DiskLoadOutcome
+deserialize(std::istream &is, const std::string &key,
+            ExperimentResult &out)
+{
+    Reader rd(is);
+    std::string stored_key;
+    if (!readEntryHeader(rd, stored_key))
+        return DiskLoadOutcome::Corrupt;
+    if (stored_key != key)
+        return DiskLoadOutcome::Collision; // other key, same hash.
+    return readEntryBody(rd, out);
+}
+
+/**
+ * Parse a whole blob file without comparing against an expected
+ * (kind, key) — the caller compares (loadBlob) or records (fsck).
+ */
+DiskLoadOutcome
+readBlobFile(std::istream &is, std::string &kind, std::string &key,
+             std::vector<uint8_t> &out)
+{
+    Reader rd(is);
+    std::istringstream header(rd.rawLine());
+    std::string magic;
+    int version = -1;
+    header >> magic >> version >> kind;
+    if (!rd.ok() || magic != kBlobMagic || version != kBlobVersion)
+        return DiskLoadOutcome::Corrupt;
+    key = rd.str();
+    if (!rd.ok())
+        return DiskLoadOutcome::Corrupt;
+    int64_t size = rd.i64();
+    if (!rd.ok() || size < 0 || size > (1 << 28))
+        return DiskLoadOutcome::Corrupt;
+    std::vector<uint8_t> bytes(static_cast<size_t>(size));
+    is.read(reinterpret_cast<char *>(bytes.data()),
+            static_cast<std::streamsize>(size));
+    if (!is)
+        return DiskLoadOutcome::Corrupt;
+    char nl = 0;
+    is.get(nl);
+    if (!is || nl != '\n')
+        return DiskLoadOutcome::Corrupt;
+    Reader trailer(is);
+    if (trailer.rawLine() != "end")
+        return DiskLoadOutcome::Corrupt;
+    out = std::move(bytes);
+    return DiskLoadOutcome::Hit;
+}
+
 const char *
 outcomeName(DiskLoadOutcome outcome)
 {
@@ -282,6 +336,100 @@ usSince(std::chrono::steady_clock::time_point t0)
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+}
+
+/**
+ * Open a temp file for writing, retrying transient errno values.
+ * `site` is a failpoint that simulates one transient open failure
+ * per fire, so tests can drive both retry outcomes deterministically.
+ */
+bool
+openTempWithRetry(std::ofstream &os, const std::string &path,
+                  const char *site)
+{
+    IoStatus st = withRetry(defaultRetryPolicy(), [&] {
+        if (failpoint::evaluate(site))
+            return IoStatus::Transient;
+        os.clear();
+        errno = 0;
+        os.open(path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return classifyErrno(errno != 0 ? errno : EIO);
+        return IoStatus::Ok;
+    });
+    return st == IoStatus::Ok;
+}
+
+/**
+ * Write `body` to `tmp_path` and atomically publish it at
+ * `final_path`. Shared by entry and blob stores so every fault path
+ * (transient open, write failure, short write, failed rename, crash
+ * in the publish window) is handled once. `prefix` namespaces the
+ * failpoint sites ("disk_cache/store" or "disk_cache/blob_store")
+ * and `fail_counter`/`stats` the failure accounting.
+ *
+ * Fault semantics:
+ *   <prefix>_open        transient open; retried with backoff.
+ *   <prefix>_enospc      write fails cleanly (disk full); tmp removed.
+ *   <prefix>_short_write only half the body reaches the final file —
+ *                        a torn entry IS published, as after a
+ *                        fsync-less power cut; readers must classify
+ *                        it Corrupt and fsck must quarantine it.
+ *   <prefix>_rename      the publishing rename fails; tmp removed.
+ *   <prefix>_publish     evaluated between write and rename — the
+ *                        crash-stress suite fires it with ",crash" to
+ *                        die with a complete orphan temp file.
+ */
+bool
+publishAtomically(const std::string &body,
+                  const std::string &tmp_path,
+                  const std::string &final_path, const char *prefix,
+                  const char *fail_counter,
+                  const obs::StatsScope &stats)
+{
+    std::string p(prefix);
+    bool torn =
+        failpoint::evaluate((p + "_short_write").c_str());
+    {
+        std::ofstream os;
+        if (!openTempWithRetry(os, tmp_path,
+                               (p + "_open").c_str())) {
+            stats.bump(fail_counter);
+            return false;
+        }
+        if (failpoint::evaluate((p + "_enospc").c_str())) {
+            std::remove(tmp_path.c_str());
+            stats.bump(fail_counter);
+            return false;
+        }
+        size_t n = torn ? body.size() / 2 : body.size();
+        os.write(body.data(), static_cast<std::streamsize>(n));
+        os.flush();
+        if (!os) {
+            std::remove(tmp_path.c_str());
+            stats.bump(fail_counter);
+            return false;
+        }
+    }
+    if (failpoint::evaluate((p + "_publish").c_str())) {
+        // Fail action: abandon the complete temp file without
+        // renaming, as a crash here would. fsck sweeps orphans.
+        stats.bump(fail_counter);
+        return false;
+    }
+    if (failpoint::evaluate((p + "_rename").c_str()) ||
+        std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        stats.bump(fail_counter);
+        return false;
+    }
+    if (torn) {
+        // The torn entry is now live; report the store as failed so
+        // callers don't trust it.
+        stats.bump(fail_counter);
+        return false;
+    }
+    return true;
 }
 
 } // anonymous namespace
@@ -319,6 +467,8 @@ DiskCache::loadClassified(const std::string &key,
     // branch - no clock reads on the stats-off path.
     obs::StatsScope stats = obs::globalScope("disk_cache");
     if (!stats.enabled()) {
+        if (failpoint::evaluate("disk_cache/load_io"))
+            return DiskLoadOutcome::Corrupt; // simulated EIO.
         std::ifstream is(entryPath(key), std::ios::binary);
         if (!is)
             return DiskLoadOutcome::Miss;
@@ -327,7 +477,9 @@ DiskCache::loadClassified(const std::string &key,
 
     const auto t0 = std::chrono::steady_clock::now();
     DiskLoadOutcome outcome;
-    {
+    if (failpoint::evaluate("disk_cache/load_io")) {
+        outcome = DiskLoadOutcome::Corrupt; // simulated EIO.
+    } else {
         std::ifstream is(entryPath(key), std::ios::binary);
         outcome = is ? deserialize(is, key, out)
                      : DiskLoadOutcome::Miss;
@@ -358,25 +510,9 @@ DiskCache::store(const std::string &key,
     std::string tmp_path = final_path + ".tmp." +
                            std::to_string(::getpid()) + "." +
                            std::to_string(seq.fetch_add(1));
-    {
-        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            stats.bump("store_fail");
-            return false;
-        }
-        os << body.str();
-        os.flush();
-        if (!os) {
-            std::remove(tmp_path.c_str());
-            stats.bump("store_fail");
-            return false;
-        }
-    }
-    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-        std::remove(tmp_path.c_str());
-        stats.bump("store_fail");
+    if (!publishAtomically(body.str(), tmp_path, final_path,
+                           "disk_cache/store", "store_fail", stats))
         return false;
-    }
     if (stats.enabled()) {
         stats.bump("store");
         stats.sample("store_us", usSince(t0));
@@ -413,25 +549,10 @@ DiskCache::storeBlob(const std::string &kind, const std::string &key,
     std::string tmp_path = final_path + ".tmp." +
                            std::to_string(::getpid()) + "." +
                            std::to_string(seq.fetch_add(1));
-    {
-        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            stats.bump("blob_store_fail");
-            return false;
-        }
-        os << body.str();
-        os.flush();
-        if (!os) {
-            std::remove(tmp_path.c_str());
-            stats.bump("blob_store_fail");
-            return false;
-        }
-    }
-    if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-        std::remove(tmp_path.c_str());
-        stats.bump("blob_store_fail");
+    if (!publishAtomically(body.str(), tmp_path, final_path,
+                           "disk_cache/blob_store", "blob_store_fail",
+                           stats))
         return false;
-    }
     stats.bump("blob_store");
     return true;
 }
@@ -442,42 +563,79 @@ DiskCache::loadBlob(const std::string &kind, const std::string &key,
 {
     obs::StatsScope stats = obs::globalScope("disk_cache");
     DiskLoadOutcome outcome = [&] {
+        if (failpoint::evaluate("disk_cache/blob_load_io"))
+            return DiskLoadOutcome::Corrupt; // simulated EIO.
         std::ifstream is(blobPath(kind, key), std::ios::binary);
         if (!is)
             return DiskLoadOutcome::Miss;
-        Reader rd(is);
-        std::istringstream header(rd.rawLine());
-        std::string magic, stored_kind;
-        int version = -1;
-        header >> magic >> version >> stored_kind;
-        if (!rd.ok() || magic != kBlobMagic ||
-            version != kBlobVersion)
-            return DiskLoadOutcome::Corrupt;
-        std::string stored_key = rd.str();
-        if (!rd.ok())
-            return DiskLoadOutcome::Corrupt;
+        std::string stored_kind, stored_key;
+        std::vector<uint8_t> bytes;
+        DiskLoadOutcome o =
+            readBlobFile(is, stored_kind, stored_key, bytes);
+        if (o != DiskLoadOutcome::Hit)
+            return o;
         if (stored_kind != kind || stored_key != key)
             return DiskLoadOutcome::Collision;
-        int64_t size = rd.i64();
-        if (!rd.ok() || size < 0 || size > (1 << 28))
-            return DiskLoadOutcome::Corrupt;
-        std::vector<uint8_t> bytes(static_cast<size_t>(size));
-        is.read(reinterpret_cast<char *>(bytes.data()),
-                static_cast<std::streamsize>(size));
-        if (!is)
-            return DiskLoadOutcome::Corrupt;
-        char nl = 0;
-        is.get(nl);
-        if (!is || nl != '\n')
-            return DiskLoadOutcome::Corrupt;
-        Reader trailer(is);
-        if (trailer.rawLine() != "end")
-            return DiskLoadOutcome::Corrupt;
         out = std::move(bytes);
         return DiskLoadOutcome::Hit;
     }();
     stats.bump(std::string("blob_") + outcomeName(outcome));
     return outcome;
+}
+
+bool
+DiskCache::validateEntryFile(const std::string &path,
+                             std::string *stored_key,
+                             std::string *why)
+{
+    auto fail = [why](const char *reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return fail("unreadable");
+    Reader rd(is);
+    std::string key;
+    if (!readEntryHeader(rd, key))
+        return fail("bad header or schema version");
+    if (stored_key)
+        *stored_key = key;
+    ExperimentResult scratch;
+    if (readEntryBody(rd, scratch) != DiskLoadOutcome::Hit)
+        return fail("truncated or malformed body");
+    return true;
+}
+
+bool
+DiskCache::validateBlobFile(const std::string &path,
+                            std::string *hash_seed, std::string *why)
+{
+    auto fail = [why](const char *reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return fail("unreadable");
+    std::string kind, key;
+    std::vector<uint8_t> bytes;
+    if (readBlobFile(is, kind, key, bytes) != DiskLoadOutcome::Hit)
+        return fail("truncated or malformed blob");
+    if (hash_seed)
+        *hash_seed = kind + "\n" + key;
+    return true;
+}
+
+std::string
+DiskCache::hashedStem(const std::string &seed)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(seed)));
+    return buf;
 }
 
 std::string

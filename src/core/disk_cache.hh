@@ -110,6 +110,27 @@ class DiskCache
      */
     static std::string defaultDir();
 
+    /**
+     * Structurally verify one .entry file for `vvsp fsck`: header
+     * magic and schema version, every field parseable, "end" trailer
+     * present. On success `stored_key` receives the embedded content
+     * key (so fsck can check the filename hash); on failure `why`
+     * explains the damage.
+     */
+    static bool validateEntryFile(const std::string &path,
+                                  std::string *stored_key,
+                                  std::string *why);
+
+    /** validateEntryFile's counterpart for .blob files; `hash_seed`
+     *  receives the kind+key string whose FNV-1a names the file. */
+    static bool validateBlobFile(const std::string &path,
+                                 std::string *hash_seed,
+                                 std::string *why);
+
+    /** The 16-hex FNV-1a stem a hash seed maps to (entry files seed
+     *  with the key, blob files with kind+"\n"+key). */
+    static std::string hashedStem(const std::string &seed);
+
   private:
     std::string dir_;
 };

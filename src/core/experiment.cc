@@ -282,7 +282,12 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
         IsaModule emitted;
         CompositionResult comp =
             composer.compose(fn, avg, nullptr, &emitted);
-        cache->storeScheduleModule(sched_key, std::move(emitted));
+        // A degraded composition reflects this run's scheduling
+        // budget, not the cell's true cost; publishing it would
+        // poison unbudgeted runs (the content key excludes the
+        // budget). Keep it out of the module cache.
+        if (comp.degradedRegions == 0)
+            cache->storeScheduleModule(sched_key, std::move(emitted));
         return comp;
     });
     res.cyclesPerUnit = res.comp.cyclesPerUnit;
@@ -303,7 +308,17 @@ runExperiment(const ExperimentRequest &req, ExperimentCache *cache)
     if (!res.comp.registersOk)
         res.note += (res.note.empty() ? "" : "; ") +
                     std::string("register pressure exceeds file");
-    if (cache)
+    if (res.comp.degradedRegions > 0) {
+        res.note += (res.note.empty() ? "" : "; ") +
+                    std::string("degraded: scheduling budget "
+                                "exhausted in ") +
+                    std::to_string(res.comp.degradedRegions) +
+                    " region(s)";
+        obs::globalScope("sched").bump("degraded_cells");
+    }
+    // Degraded results are budget-dependent; never cache them (the
+    // content key doesn't include the budget).
+    if (cache && res.comp.degradedRegions == 0)
         cache->storeResult(result_key, res);
     return res;
 }

@@ -1,5 +1,6 @@
 #include "core/experiment_cache.hh"
 
+#include <atomic>
 #include <chrono>
 #include <sstream>
 
@@ -241,9 +242,26 @@ ExperimentCache::findScheduleModule(const std::string &key)
     }
     // Disk I/O and decode outside the lock, same discipline as
     // findResult: duplicate reads of the same blob are harmless.
+    // A discarded blob — container version skew, hash collision, or
+    // an ISA decode failure (e.g. written by a build with different
+    // opcode numbering) — is as good as absent, but never silently:
+    // warn once per process and count every discard, so a cache
+    // full of stale blobs shows up in --stats and ledger manifests
+    // instead of masquerading as a cold cache.
+    static std::atomic<bool> warned{false};
+    auto discard = [&](const char *why) {
+        obs::globalScope("isa").bump("blob_quarantined");
+        if (!warned.exchange(true)) {
+            warn("isa-module blob discarded (%s); treating as a "
+                 "cache miss. Run `vvsp fsck` to quarantine damaged "
+                 "blobs. (warning once; see isa/blob_quarantined "
+                 "counter)",
+                 why);
+        }
+    };
     std::vector<uint8_t> bytes;
-    if (disk->loadBlob("isa-module", key, bytes) ==
-        DiskLoadOutcome::Hit) {
+    switch (disk->loadBlob("isa-module", key, bytes)) {
+      case DiskLoadOutcome::Hit: {
         IsaModule module;
         std::string error;
         if (decodeModule(bytes, module, &error)) {
@@ -254,10 +272,17 @@ ExperimentCache::findScheduleModule(const std::string &key)
             return modules_.try_emplace(key, std::move(shared))
                 .first->second;
         }
-        // A blob that passed the container checks but fails the ISA
-        // decoder (e.g. written by a build with different opcode
-        // numbering) is as good as absent; fall through to the miss.
-        (void)error;
+        discard(error.empty() ? "ISA decode failure" : error.c_str());
+        break;
+      }
+      case DiskLoadOutcome::Corrupt:
+        discard("version skew or corrupt container");
+        break;
+      case DiskLoadOutcome::Collision:
+        discard("key hash collision");
+        break;
+      case DiskLoadOutcome::Miss:
+        break;
     }
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.moduleMisses;

@@ -1,6 +1,7 @@
 #include "kernels/composer.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "obs/stats_registry.hh"
@@ -121,6 +122,24 @@ loopControlOps(Function &fn, const LoopNode &loop)
     ops.push_back(cmp);
     ops.push_back(br);
     return ops;
+}
+
+/**
+ * Candidate-II budget per software-pipelined loop, from
+ * VVSP_SCHED_BUDGET. Unset or non-positive means unlimited — the
+ * default, so normal runs never degrade and goldens are untouched.
+ */
+long
+schedBudget()
+{
+    static const long v = [] {
+        const char *env = std::getenv("VVSP_SCHED_BUDGET");
+        if (!env || !*env)
+            return -1L;
+        long n = std::atol(env);
+        return n > 0 ? n : -1L;
+    }();
+    return v;
 }
 
 bool
@@ -252,6 +271,8 @@ struct Composer::Walker
     void
     record(const RegionCost &rc, size_t num_ops)
     {
+        if (rc.degraded)
+            result.degradedRegions++;
         result.cyclesPerUnit += rc.cycles;
         result.totalInstructions += rc.instructions;
         result.maxLive = std::max(result.maxLive, rc.maxLive);
@@ -308,12 +329,24 @@ struct Composer::Walker
             SectionOutcome enc = encodeOrRehydrate(
                 "swp:" + loop.label, ops, false, "modulo_sched",
                 [&] {
-                    return msched.schedule(
-                        ops, machine.registersPerCluster());
+                    auto swp_sched = msched.scheduleBudgeted(
+                        ops, machine.registersPerCluster(),
+                        schedBudget());
+                    if (swp_sched)
+                        return std::move(*swp_sched);
+                    // Budget exhausted with no feasible II at all:
+                    // fall back to the acyclic list schedule of the
+                    // loop body. Slower cycles, but correct ones —
+                    // the cell is marked degraded, never silently
+                    // wrong.
+                    BlockSchedule fallback =
+                        lsched.schedule(ops, false);
+                    fallback.degraded = true;
+                    return fallback;
                 });
             const BlockSchedule &sched = enc.sched;
             obs::StatsScope swp = obs::globalScope("sched/swp");
-            if (swp.enabled()) {
+            if (swp.enabled() && sched.isModulo()) {
                 // Achieved II against both lower bounds, so reports
                 // can tell resource-bound loops from recurrence-bound
                 // ones and spot schedules that missed the MII.
@@ -334,9 +367,14 @@ struct Composer::Walker
             rc.execCount = iters;
             rc.ii = sched.ii;
             rc.length = sched.length;
-            rc.cycles = entries * (sched.prologueCycles() +
-                                   sched.epilogueCycles()) +
-                        iters * sched.ii;
+            rc.degraded = sched.degraded;
+            // A degraded fallback may be acyclic (ii == 0): cost it
+            // as a plain loop body, length cycles per iteration.
+            rc.cycles = sched.isModulo()
+                            ? entries * (sched.prologueCycles() +
+                                         sched.epilogueCycles()) +
+                                  iters * sched.ii
+                            : iters * sched.length;
             rc.instructions = static_cast<int>(enc.stats.words);
             rc.maxLive = sched.maxLive;
             rc.codeBytes = enc.stats.bytes;

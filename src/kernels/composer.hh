@@ -59,6 +59,10 @@ struct RegionCost
     int maxLive = 0;
     int64_t codeBytes = 0; ///< encoded payload bytes.
     int64_t nopSlots = 0;  ///< empty issue slots across the words.
+    /** Scheduling budget ran out for this group (see
+     *  BlockSchedule::degraded); cycles reflect the fallback
+     *  schedule actually used, never a guess. */
+    bool degraded = false;
 };
 
 /** Composition output. */
@@ -75,6 +79,10 @@ struct CompositionResult
     int64_t codeWords = 0;
     int64_t codeBytes = 0;
     int64_t nopSlots = 0;
+    /** Groups whose II search exhausted its budget; nonzero marks
+     *  the whole cell degraded (reports show `~`, JSON and ledger
+     *  manifests carry the flag, and the cell is never cached). */
+    int degradedRegions = 0;
     std::vector<RegionCost> regions;
 
     std::string str() const;

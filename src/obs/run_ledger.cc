@@ -1,5 +1,6 @@
 #include "obs/run_ledger.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +14,8 @@
 #include <unistd.h>
 
 #include "obs/stats_registry.hh"
+#include "support/failpoint.hh"
+#include "support/io_retry.hh"
 #include "support/json.hh"
 
 namespace vvsp
@@ -274,9 +277,22 @@ appendToLedger(const std::string &path, const RunManifest &m)
     if (p.has_parent_path())
         std::filesystem::create_directories(p.parent_path(), ec);
 
-    int fd = ::open(path.c_str(),
+    // The open can hit transient errno values (EINTR, EAGAIN on some
+    // filesystems); retry with backoff before giving up. The
+    // "ledger/append_open" failpoint simulates one transient failure
+    // per fire.
+    int fd = -1;
+    IoStatus open_st = withRetry(defaultRetryPolicy(), [&] {
+        if (failpoint::evaluate("ledger/append_open"))
+            return IoStatus::Transient;
+        errno = 0;
+        fd = ::open(path.c_str(),
                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-    if (fd < 0)
+        if (fd < 0)
+            return classifyErrno(errno != 0 ? errno : EIO);
+        return IoStatus::Ok;
+    });
+    if (open_st != IoStatus::Ok || fd < 0)
         return false;
     // O_APPEND makes a single write atomic w.r.t. the file offset;
     // the flock additionally serializes the (rare) short-write retry
@@ -285,6 +301,13 @@ appendToLedger(const std::string &path, const RunManifest &m)
     const char *data = line.data();
     size_t left = line.size();
     bool ok = true;
+    if (failpoint::evaluate("ledger/append_torn")) {
+        // Simulate a crash mid-append: half the line, no newline —
+        // exactly the torn tail `vvsp fsck` must detect and repair.
+        size_t n = line.size() / 2;
+        ok = ::write(fd, data, n) == static_cast<ssize_t>(n) && false;
+        left = 0;
+    }
     while (left > 0) {
         ssize_t n = ::write(fd, data, left);
         if (n <= 0) {

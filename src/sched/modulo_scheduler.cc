@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <limits>
 #include <map>
 #include <numeric>
 
 #include "sched/reg_pressure.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/sched_arena.hh"
 #include "support/thread_pool.hh"
@@ -296,6 +298,21 @@ BlockSchedule
 ModuloScheduler::schedule(const std::vector<Operation> &ops,
                           int max_live_target) const
 {
+    auto result = scheduleBudgeted(ops, max_live_target,
+                                   /*ii_budget=*/-1);
+    if (!result) {
+        vvsp_panic("modulo scheduler found no II for %d ops on %s",
+                   static_cast<int>(ops.size()),
+                   machine_.name().c_str());
+    }
+    return std::move(*result);
+}
+
+std::optional<BlockSchedule>
+ModuloScheduler::scheduleBudgeted(const std::vector<Operation> &ops,
+                                  int max_live_target,
+                                  long ii_budget) const
+{
     const int n = static_cast<int>(ops.size());
     vvsp_assert(n > 0, "modulo scheduling an empty block");
     for (const auto &op : ops) {
@@ -365,6 +382,15 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
         return false;
     };
 
+    // Candidate-II budget, consumed in ascending II order at the
+    // point each candidate's result is (or would be) inspected — the
+    // same accounting in both search paths, so budgeted runs stay
+    // bit-identical at any thread count. The "sched/ii_attempt"
+    // failpoint is likewise evaluated once per candidate, in order.
+    long budget = ii_budget < 0 ? std::numeric_limits<long>::max()
+                                : ii_budget;
+    bool exhausted = false;
+
     const int max_ii = mii + 2 * n + 16;
     ThreadPool *pool = g_iiPool.load(std::memory_order_acquire);
     int width = g_iiWidth.load(std::memory_order_acquire);
@@ -374,7 +400,7 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
         // wave's results in ascending II order. attempt() is a pure
         // function of (ops, ddg, ii) with its own table and arena
         // scratch, so extra speculative results are simply discarded.
-        for (int base = mii; base <= max_ii;) {
+        for (int base = mii; base <= max_ii && !exhausted;) {
             int wave = std::min(width, max_ii - base + 1);
             std::vector<uint8_t> ok(static_cast<size_t>(wave), 0);
             std::vector<BlockSchedule> cands(
@@ -395,6 +421,12 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
             }
             group.wait();
             for (int k = 0; k < wave; ++k) {
+                if (budget-- <= 0) {
+                    exhausted = true;
+                    break;
+                }
+                if (failpoint::evaluate("sched/ii_attempt"))
+                    continue; // forced infeasible.
                 if (!ok[static_cast<size_t>(k)])
                     continue;
                 if (consume(std::move(cands[static_cast<size_t>(k)])))
@@ -405,16 +437,25 @@ ModuloScheduler::schedule(const std::vector<Operation> &ops,
     } else {
         std::vector<int> start;
         for (int ii = mii; ii <= max_ii; ++ii) {
+            if (budget-- <= 0) {
+                exhausted = true;
+                break;
+            }
+            if (failpoint::evaluate("sched/ii_attempt"))
+                continue; // forced infeasible.
             if (!attempt(ops, ddg, ii, by_priority, table_, &start))
                 continue;
             if (consume(build(ii, start)))
                 return decided;
         }
     }
-    if (have_best)
+    if (exhausted)
+        stats_.bump("budget_exhausted");
+    if (have_best) {
+        best.degraded = exhausted;
         return best;
-    vvsp_panic("modulo scheduler found no II for %d ops on %s", n,
-               machine_.name().c_str());
+    }
+    return std::nullopt;
 }
 
 } // namespace vvsp

@@ -18,6 +18,7 @@
 #ifndef VVSP_SCHED_MODULO_SCHEDULER_HH
 #define VVSP_SCHED_MODULO_SCHEDULER_HH
 
+#include <optional>
 #include <vector>
 
 #include "arch/machine_model.hh"
@@ -64,6 +65,26 @@ class ModuloScheduler
      */
     BlockSchedule schedule(const std::vector<Operation> &ops,
                            int max_live_target = 0) const;
+
+    /**
+     * schedule() under a candidate-II budget: at most `ii_budget`
+     * candidate IIs are examined (each counts once, feasible or
+     * not; negative means unlimited). If the search decides within
+     * budget, the result is identical to schedule(). On exhaustion,
+     * the best feasible schedule found so far is returned with its
+     * `degraded` flag set; if no candidate was feasible, nullopt —
+     * the caller falls back to an acyclic list schedule. The budget
+     * is consumed in ascending II order in both the sequential and
+     * the speculative search, so results stay bit-identical at any
+     * thread count.
+     *
+     * The "sched/ii_attempt" failpoint, evaluated once per candidate
+     * II in ascending order, forces that candidate infeasible —
+     * tests use it to exhaust the budget deterministically.
+     */
+    std::optional<BlockSchedule>
+    scheduleBudgeted(const std::vector<Operation> &ops,
+                     int max_live_target, long ii_budget) const;
 
     /** Resource-constrained lower bound on the II. */
     int resourceMii(const std::vector<Operation> &ops) const;

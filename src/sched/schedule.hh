@@ -48,6 +48,15 @@ struct BlockSchedule
     /** Peak simultaneously-live values in any one cluster. */
     int maxLive = 0;
 
+    /**
+     * True when the II search exhausted its scheduling budget and
+     * this is the best schedule found rather than the search's
+     * normal answer. The cycle count is still correct for the
+     * placements it holds — "degraded" means possibly suboptimal,
+     * never wrong.
+     */
+    bool degraded = false;
+
     /** True when this is a software-pipelined (modulo) schedule. */
     bool isModulo() const { return ii > 0; }
 

@@ -1,0 +1,291 @@
+#include "support/failpoint.hh"
+
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include <unistd.h>
+
+#include "obs/stats_registry.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace vvsp
+{
+namespace failpoint
+{
+
+std::atomic<int> g_active{0};
+
+namespace
+{
+
+/** A configured site with its runtime state. */
+struct Site
+{
+    Spec spec;
+    uint64_t evals = 0;
+    uint64_t hits = 0;
+    Rng rng{1};
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Site> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::once_flag g_envOnce;
+
+/**
+ * Eager install at static-initialization time: evaluate() short-
+ * circuits on the active flag, so an env-only configuration must set
+ * the flag before the first site is reached. Static init runs
+ * single-threaded, before main.
+ */
+struct EnvInstaller
+{
+    EnvInstaller() { installFromEnv(); }
+} g_envInstaller;
+
+} // anonymous namespace
+
+bool
+parseSpec(const std::string &text, Spec &out, std::string *error)
+{
+    auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    // Comma-separated fields: the trigger first, then for prob an
+    // optional seed, then an optional "crash" action.
+    std::vector<std::string> fields;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        fields.push_back(text.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    if (fields.empty() || fields.front().empty())
+        return fail("empty trigger spec");
+
+    Spec spec;
+    const std::string &head = fields.front();
+    size_t colon = head.find(':');
+    std::string name = head.substr(0, colon);
+    std::string arg =
+        colon == std::string::npos ? "" : head.substr(colon + 1);
+    auto wants_u64 = [&](uint64_t &v) {
+        if (arg.empty())
+            return false;
+        char *end = nullptr;
+        unsigned long long x = std::strtoull(arg.c_str(), &end, 10);
+        if (end != arg.c_str() + arg.size() || x == 0)
+            return false;
+        v = x;
+        return true;
+    };
+    if (name == "once") {
+        spec.trigger = Trigger::Once;
+    } else if (name == "always") {
+        spec.trigger = Trigger::Always;
+    } else if (name == "nth") {
+        spec.trigger = Trigger::Nth;
+        if (!wants_u64(spec.arg))
+            return fail("nth wants a positive count, got '" + arg +
+                        "'");
+    } else if (name == "every") {
+        spec.trigger = Trigger::Every;
+        if (!wants_u64(spec.arg))
+            return fail("every wants a positive count, got '" + arg +
+                        "'");
+    } else if (name == "prob") {
+        spec.trigger = Trigger::Prob;
+        char *end = nullptr;
+        spec.prob = std::strtod(arg.c_str(), &end);
+        if (arg.empty() || end != arg.c_str() + arg.size() ||
+            spec.prob < 0.0 || spec.prob > 1.0) {
+            return fail("prob wants a probability in [0,1], got '" +
+                        arg + "'");
+        }
+    } else {
+        return fail("unknown trigger '" + name + "'");
+    }
+
+    for (size_t i = 1; i < fields.size(); ++i) {
+        const std::string &f = fields[i];
+        if (f == "crash") {
+            spec.action = Action::Crash;
+        } else if (spec.trigger == Trigger::Prob) {
+            char *end = nullptr;
+            unsigned long long s = std::strtoull(f.c_str(), &end, 10);
+            if (f.empty() || end != f.c_str() + f.size())
+                return fail("bad prob seed '" + f + "'");
+            spec.seed = s;
+        } else {
+            return fail("unexpected field '" + f + "'");
+        }
+    }
+    out = spec;
+    return true;
+}
+
+void
+configure(const std::string &site, const Spec &spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    Site s;
+    s.spec = spec;
+    s.rng = Rng(spec.seed);
+    r.sites[site] = std::move(s);
+    g_active.store(1, std::memory_order_relaxed);
+}
+
+bool
+configureFromList(const std::string &list, std::string *error)
+{
+    // Parse everything first so a malformed list installs nothing.
+    std::vector<std::pair<std::string, Spec>> parsed;
+    size_t pos = 0;
+    while (pos < list.size()) {
+        size_t semi = list.find(';', pos);
+        if (semi == std::string::npos)
+            semi = list.size();
+        std::string item = list.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (item.empty())
+            continue;
+        size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            if (error)
+                *error = "expected site=trigger, got '" + item + "'";
+            return false;
+        }
+        Spec spec;
+        std::string why;
+        if (!parseSpec(item.substr(eq + 1), spec, &why)) {
+            if (error)
+                *error = item.substr(0, eq) + ": " + why;
+            return false;
+        }
+        parsed.emplace_back(item.substr(0, eq), spec);
+    }
+    for (const auto &[site, spec] : parsed)
+        configure(site, spec);
+    return true;
+}
+
+void
+clearAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.sites.clear();
+    g_active.store(0, std::memory_order_relaxed);
+}
+
+void
+installFromEnv()
+{
+    std::call_once(g_envOnce, [] {
+        const char *env = std::getenv("VVSP_FAILPOINTS");
+        if (!env || !*env)
+            return;
+        std::string error;
+        if (!configureFromList(env, &error))
+            warn("VVSP_FAILPOINTS: %s (ignored)", error.c_str());
+    });
+}
+
+bool
+evaluateSlow(const char *site)
+{
+    // Active but maybe only via the env var: install lazily so any
+    // entry point (tests, CLI, benches) honors VVSP_FAILPOINTS.
+    installFromEnv();
+    Registry &r = registry();
+    Action action;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.sites.find(site);
+        if (it == r.sites.end())
+            return false;
+        Site &s = it->second;
+        ++s.evals;
+        bool fire = false;
+        switch (s.spec.trigger) {
+          case Trigger::Once:
+            fire = s.evals == 1;
+            break;
+          case Trigger::Nth:
+            fire = s.evals == s.spec.arg;
+            break;
+          case Trigger::Every:
+            fire = s.evals % s.spec.arg == 0;
+            break;
+          case Trigger::Prob:
+            fire = s.rng.uniform01() < s.spec.prob;
+            break;
+          case Trigger::Always:
+            fire = true;
+            break;
+        }
+        if (!fire)
+            return false;
+        ++s.hits;
+        action = s.spec.action;
+    }
+    obs::globalScope("failpoint")
+        .bump(std::string(site) + "_hits");
+    if (action == Action::Crash) {
+        // SIGKILL, not abort(): no atexit handlers, no stream
+        // flushes — the closest a test can get to power loss.
+        ::kill(::getpid(), SIGKILL);
+        ::pause(); // not reached.
+    }
+    return true;
+}
+
+uint64_t
+hitCount(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+uint64_t
+evalCount(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.evals;
+}
+
+std::vector<std::string>
+configuredSites()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    for (const auto &[name, site] : r.sites)
+        names.push_back(name);
+    return names;
+}
+
+} // namespace failpoint
+} // namespace vvsp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Deterministic fault-injection registry (DESIGN.md "Fault injection
+ * & recovery").
+ *
+ * A failpoint is a named site in a reliability-critical path (disk
+ * cache publish, ledger append, machine-JSON ingest, the modulo
+ * scheduler's II search). Each site asks the registry "should I fail
+ * here?"; the registry answers according to a per-site trigger
+ * installed from the VVSP_FAILPOINTS environment variable or
+ * programmatically, and the call site then simulates the failure
+ * natively — a short write, a failed rename, a forced infeasible II —
+ * so the production error-handling code runs exactly as it would on
+ * real faults.
+ *
+ * Zero overhead when disabled: with no sites configured, evaluate()
+ * is one relaxed atomic load and a branch — no locks, no lookups, no
+ * clock reads — so shipping the sites in release builds costs
+ * nothing (asserted by the golden byte-identity tests, which run
+ * with the registry empty).
+ *
+ * Trigger grammar (sites separated by ';'):
+ *
+ *   VVSP_FAILPOINTS="site=once;other=nth:3;third=prob:0.25,42"
+ *
+ *   once        fire on the first evaluation only
+ *   nth:K       fire on the Kth evaluation (1-based) only
+ *   every:K     fire on every Kth evaluation
+ *   prob:P[,S]  fire with probability P per evaluation, from a
+ *               deterministic PRNG seeded with S (default 1)
+ *   always      fire on every evaluation
+ *
+ * Any spec may append ",crash": instead of reporting the fault to
+ * the call site, the process raises SIGKILL at the evaluation point —
+ * the crash-stress suite uses this to die between a temp-file write
+ * and its publishing rename.
+ *
+ * Determinism contract: triggers depend only on the site's own
+ * evaluation count (and, for prob, a seeded PRNG advanced per
+ * evaluation), never on wall time, so a single-threaded run fires
+ * the same evaluations every time.
+ *
+ * Every evaluation and every fire are counted; when the global
+ * StatsRegistry is installed, fires are also exported as
+ * "failpoint/<site>_hits" counters (with '/' in site names kept
+ * verbatim), so ledger manifests record which faults a run injected.
+ */
+
+#ifndef VVSP_SUPPORT_FAILPOINT_HH
+#define VVSP_SUPPORT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vvsp
+{
+namespace failpoint
+{
+
+/** When a configured site fires. */
+enum class Trigger
+{
+    Once,   ///< first evaluation only.
+    Nth,    ///< the arg-th evaluation (1-based) only.
+    Every,  ///< every arg-th evaluation.
+    Prob,   ///< probability `prob` per evaluation (seeded PRNG).
+    Always, ///< every evaluation.
+};
+
+/** What a fired site does. */
+enum class Action
+{
+    Fail,  ///< report the fault to the call site (it simulates).
+    Crash, ///< raise SIGKILL at the evaluation point.
+};
+
+/** One site's parsed configuration. */
+struct Spec
+{
+    Trigger trigger = Trigger::Once;
+    Action action = Action::Fail;
+    uint64_t arg = 1;    ///< K for nth/every.
+    double prob = 0.0;   ///< P for prob.
+    uint64_t seed = 1;   ///< PRNG seed for prob.
+};
+
+/**
+ * Parse one trigger spec ("once", "nth:3", "prob:0.25,42,crash", ...).
+ * Returns false with a reason in `error` on malformed input.
+ */
+bool parseSpec(const std::string &text, Spec &out, std::string *error);
+
+/**
+ * Install a site programmatically (replacing any existing trigger for
+ * it). Resets the site's evaluation count.
+ */
+void configure(const std::string &site, const Spec &spec);
+
+/**
+ * Install sites from a VVSP_FAILPOINTS-grammar list
+ * ("a=once;b=nth:2"). Returns false (installing nothing) with a
+ * reason in `error` on malformed input.
+ */
+bool configureFromList(const std::string &list, std::string *error);
+
+/** Remove every configured site and zero all counts. */
+void clearAll();
+
+/**
+ * Read VVSP_FAILPOINTS once per process and install it. Called
+ * lazily by the first evaluate(); exposed for tools that want the
+ * parse error surfaced early. Malformed values are reported with
+ * warn() and ignored.
+ */
+void installFromEnv();
+
+/** True when any site is configured (one relaxed load). */
+inline bool
+active()
+{
+    extern std::atomic<int> g_active;
+    return g_active.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Should the named site fail now? Counts the evaluation, applies the
+ * site's trigger, and on fire counts the hit (exporting
+ * "failpoint/<site>_hits" through the global StatsRegistry when one
+ * is installed) and applies the action — for Action::Crash this call
+ * never returns. Unconfigured sites always answer false.
+ */
+bool evaluateSlow(const char *site);
+
+/**
+ * The call-site entry point: false immediately (one relaxed load)
+ * when no failpoints are configured anywhere in the process.
+ */
+inline bool
+evaluate(const char *site)
+{
+    return active() && evaluateSlow(site);
+}
+
+/** Times the named site fired (0 when never configured). */
+uint64_t hitCount(const std::string &site);
+
+/** Times the named site was evaluated (0 when never configured). */
+uint64_t evalCount(const std::string &site);
+
+/** Names of every configured site, sorted. */
+std::vector<std::string> configuredSites();
+
+} // namespace failpoint
+} // namespace vvsp
+
+#endif // VVSP_SUPPORT_FAILPOINT_HH

@@ -1,0 +1,57 @@
+#include "support/io_retry.hh"
+
+#include <cerrno>
+
+#include <unistd.h>
+
+#include "obs/stats_registry.hh"
+
+namespace vvsp
+{
+
+IoStatus
+classifyErrno(int err)
+{
+    switch (err) {
+      case 0:
+        return IoStatus::Ok;
+      case EINTR:
+      case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+      case EWOULDBLOCK:
+#endif
+      case EBUSY:
+        return IoStatus::Transient;
+      default:
+        return IoStatus::Permanent;
+    }
+}
+
+RetryPolicy
+defaultRetryPolicy()
+{
+    RetryPolicy p;
+    p.sleepFn = [](uint64_t us) { ::usleep(us); };
+    return p;
+}
+
+IoStatus
+withRetry(const RetryPolicy &policy,
+          const std::function<IoStatus()> &attempt)
+{
+    int max_attempts = policy.maxAttempts < 1 ? 1 : policy.maxAttempts;
+    for (int k = 1;; ++k) {
+        IoStatus st = attempt();
+        if (st != IoStatus::Transient)
+            return st;
+        if (k >= max_attempts) {
+            obs::globalScope("io").bump("retry_gave_up");
+            return IoStatus::Transient;
+        }
+        obs::globalScope("io").bump("retry_attempts");
+        if (policy.sleepFn)
+            policy.sleepFn(policy.baseDelayUs << (k - 1));
+    }
+}
+
+} // namespace vvsp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Classified retry-with-backoff for transient I/O errors (DESIGN.md
+ * "Fault injection & recovery").
+ *
+ * Persistence paths (disk-cache store, ledger append) can hit errno
+ * values that mean "try again" rather than "give up": EINTR from a
+ * signal, EAGAIN from a saturated descriptor, EBUSY from a
+ * contended file. withRetry() classifies the errno an attempt
+ * reports, retries Transient failures with bounded exponential
+ * backoff, and stops immediately on Permanent ones (ENOSPC, EIO,
+ * EACCES...) so real damage surfaces on the first attempt.
+ *
+ * Determinism: the backoff sleep is injected through
+ * RetryPolicy::sleepFn, so tests substitute a recording stub and the
+ * retry loop never reads a clock. Attempts and exhaustions are
+ * counted as "io/retry_attempts" / "io/retry_gave_up" through the
+ * global StatsRegistry.
+ */
+
+#ifndef VVSP_SUPPORT_IO_RETRY_HH
+#define VVSP_SUPPORT_IO_RETRY_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace vvsp
+{
+
+/** How an I/O attempt ended, as classified from its errno. */
+enum class IoStatus
+{
+    Ok,        ///< attempt succeeded; stop.
+    Transient, ///< worth retrying (EINTR, EAGAIN, EBUSY).
+    Permanent, ///< retrying cannot help (ENOSPC, EIO, ...); stop.
+};
+
+/** Map an errno value to a retry class. 0 maps to Ok. */
+IoStatus classifyErrno(int err);
+
+/** Bounds and backoff for one retry loop. */
+struct RetryPolicy
+{
+    /// Total attempts including the first (>= 1).
+    int maxAttempts = 4;
+    /// Backoff before retry k (1-based) is baseDelayUs << (k - 1).
+    uint64_t baseDelayUs = 200;
+    /// Injected sleep; null means "don't sleep" (tests, callers that
+    /// poll). Receives the computed backoff in microseconds.
+    std::function<void(uint64_t)> sleepFn;
+};
+
+/** A policy whose sleepFn really sleeps (usleep-backed). */
+RetryPolicy defaultRetryPolicy();
+
+/**
+ * Run `attempt` until it returns Ok, returns Permanent, or the
+ * policy's attempt bound is exhausted. Returns the final status
+ * (Transient here means "gave up retrying"). Counts every retry as
+ * "io/retry_attempts" and every exhaustion as "io/retry_gave_up".
+ */
+IoStatus withRetry(const RetryPolicy &policy,
+                   const std::function<IoStatus()> &attempt);
+
+} // namespace vvsp
+
+#endif // VVSP_SUPPORT_IO_RETRY_HH
